@@ -1,0 +1,105 @@
+package cherisim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunQuickstartPath(t *testing.T) {
+	res, err := Run("sqlite", Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Seconds <= 0 || res.Metrics.IPC <= 0 {
+		t.Fatalf("empty result: %+v", res.Metrics)
+	}
+	if res.Topdown.BackendBound <= 0 {
+		t.Error("no top-down data")
+	}
+	if res.HeapBytes == 0 {
+		t.Error("no heap footprint")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run("not-a-benchmark", Hybrid, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestParseABI(t *testing.T) {
+	a, err := ParseABI("benchmark")
+	if err != nil || a != Benchmark {
+		t.Fatalf("ParseABI = %v, %v", a, err)
+	}
+}
+
+func TestWorkloadCatalogue(t *testing.T) {
+	if len(Workloads()) != 20 {
+		t.Errorf("catalogue has %d workloads", len(Workloads()))
+	}
+	w, err := WorkloadByName("519.lbm_r")
+	if err != nil || w.Name != "519.lbm_r" {
+		t.Fatalf("lookup failed: %v %v", w, err)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	es := Experiments()
+	if len(es) < 12 {
+		t.Fatalf("only %d experiments registered", len(es))
+	}
+	e, err := ExperimentByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(NewExperimentSession(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("empty fig2 report")
+	}
+	if _, err := ExperimentByID("fig99"); err == nil {
+		t.Error("unknown experiment resolved")
+	}
+}
+
+func TestRunConfigProjection(t *testing.T) {
+	// The §5 projection path: a capability-aware predictor must not slow
+	// anything down.
+	base, err := Run("523.xalancbmk_r", Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Purecap)
+	cfg.TracksPCCBounds = true
+	improved, err := RunConfig("523.xalancbmk_r", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Metrics.Seconds >= base.Metrics.Seconds {
+		t.Errorf("capability-aware predictor did not help: %.4f vs %.4f",
+			improved.Metrics.Seconds, base.Metrics.Seconds)
+	}
+}
+
+func TestDirectMachineUse(t *testing.T) {
+	m := NewMachine(Purecap)
+	m.Func("main", 512, 64)
+	err := m.Run(func(m *Machine) {
+		p := m.Alloc(64)
+		m.Store(p, 7, 8)
+		if v := m.Load(p, 8); v != 7 {
+			t.Errorf("load = %d", v)
+		}
+		m.Load(p+4096, 8) // out of bounds: faults under purecap
+	})
+	if err == nil {
+		t.Fatal("expected a capability fault")
+	}
+	var f interface{ Unwrap() error }
+	if !errors.As(err, &f) {
+		t.Errorf("fault not unwrappable: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated Morello platform.
+//
+// Usage:
+//
+//	experiments -list            # enumerate experiments
+//	experiments -run fig1        # regenerate one artefact
+//	experiments -all             # regenerate everything
+//	experiments -all -scale 3    # run workloads at 3x length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cherisim/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "run a single experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %-14s %s\n", e.ID, e.Section, e.Title)
+		}
+	case *run != "":
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fatal(err)
+		}
+		s := experiments.NewSession(*scale)
+		out, err := e.Run(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s (%s) ==\n%s\n", e.Title, e.Section, out)
+	case *all:
+		s := experiments.NewSession(*scale)
+		for _, e := range experiments.All() {
+			out, err := e.Run(s)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", e.ID, err))
+			}
+			fmt.Printf("== %s: %s (%s) ==\n%s\n", e.ID, e.Title, e.Section, out)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

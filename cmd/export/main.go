@@ -1,0 +1,71 @@
+// Command export runs the full measurement campaign (every workload under
+// every ABI) and writes the results as machine-readable artefacts — the
+// simulator's equivalent of the paper's published data
+// (github.com/xshaun/iiswc25-ae).
+//
+// Usage:
+//
+//	export -json results.json -metrics metrics.csv -events events.csv
+//	export -json - > results.json          # stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/report"
+	"cherisim/internal/workloads"
+)
+
+func main() {
+	jsonPath := flag.String("json", "", "write the full dataset as JSON ('-' for stdout)")
+	metricsPath := flag.String("metrics", "", "write derived metrics as CSV")
+	eventsPath := flag.String("events", "", "write raw PMU events as CSV")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+	if *jsonPath == "" && *metricsPath == "" && *eventsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d := report.NewDataset(*scale)
+	for _, w := range workloads.All() {
+		for _, a := range abi.All() {
+			m, err := workloads.Execute(w, a, *scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "export: %s/%s faulted: %v (partial counters exported)\n", w.Name, a, err)
+			}
+			d.Add(report.NewSample(w.Name, a, &m.C))
+			fmt.Fprintf(os.Stderr, "measured %s/%s\n", w.Name, a)
+		}
+	}
+
+	write := func(path string, fn func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		var w io.Writer = os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := fn(w); err != nil {
+			fatal(err)
+		}
+	}
+	write(*jsonPath, d.WriteJSON)
+	write(*metricsPath, d.WriteMetricsCSV)
+	write(*eventsPath, d.WriteEventsCSV)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "export:", err)
+	os.Exit(1)
+}

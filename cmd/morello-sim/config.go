@@ -1,0 +1,13 @@
+package main
+
+import (
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+)
+
+// coreConfig builds the machine configuration for the CLI flags.
+func coreConfig(a abi.ABI, trackPCC bool) core.Config {
+	cfg := core.DefaultConfig(a)
+	cfg.TracksPCCBounds = trackPCC
+	return cfg
+}

@@ -1,0 +1,101 @@
+// Command profile runs a workload under an ABI and prints the per-function
+// cycle profile — the simulator's analogue of pmcstat's sampling mode
+// (§3.2; the paper's profiling work surfaced CheriBSD bug #2391 in that
+// path). Comparing profiles across ABIs shows *where* CHERI's overhead
+// lands: e.g. under purecap, QuickJS's opcode handlers and xalancbmk's
+// virtual DOM accessors absorb disproportionally more cycles.
+//
+// Usage:
+//
+//	profile -workload quickjs -abi purecap -top 10
+//	profile -workload 523.xalancbmk_r -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/workloads"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload name")
+	abiName := flag.String("abi", "purecap", "ABI: hybrid | benchmark | purecap")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	top := flag.Int("top", 15, "number of functions to report")
+	period := flag.Uint64("period", 65536, "sampling period in cycles")
+	compare := flag.Bool("compare", false, "print hybrid-vs-purecap share comparison")
+	flag.Parse()
+	if *wl == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		compareProfiles(w, *scale, *top, *period)
+		return
+	}
+
+	a, err := abi.Parse(*abiName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := workloads.Execute(w, a, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profile: workload faulted (partial profile follows): %v\n", err)
+	}
+	fmt.Printf("%s under %s — %d cycles\n\n", w.Name, a, m.Cycles())
+	fmt.Print(core.FormatProfile(m.Profile(*period), *top))
+}
+
+func compareProfiles(w *workloads.Workload, scale, top int, period uint64) {
+	type entry struct{ hybrid, purecap float64 }
+	shares := map[string]*entry{}
+	collect := func(a abi.ABI, set func(e *entry, v float64)) {
+		m, err := workloads.Execute(w, a, scale)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range m.Profile(period) {
+			e := shares[p.Name]
+			if e == nil {
+				e = &entry{}
+				shares[p.Name] = e
+			}
+			set(e, p.Share)
+		}
+	}
+	collect(abi.Hybrid, func(e *entry, v float64) { e.hybrid += v })
+	collect(abi.Purecap, func(e *entry, v float64) { e.purecap += v })
+
+	tw := tabwriter.NewWriter(os.Stdout, 1, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "function\thybrid%%\tpurecap%%\tdelta\n")
+	printed := 0
+	// Sort by purecap share descending via simple selection (small sets).
+	for printed < top && len(shares) > 0 {
+		bestName, best := "", -1.0
+		for n, e := range shares {
+			if e.purecap > best {
+				bestName, best = n, e.purecap
+			}
+		}
+		e := shares[bestName]
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f\n", bestName, e.hybrid*100, e.purecap*100, (e.purecap-e.hybrid)*100)
+		delete(shares, bestName)
+		printed++
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profile:", err)
+	os.Exit(1)
+}

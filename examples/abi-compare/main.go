@@ -1,0 +1,54 @@
+// abi-compare reproduces the paper's three-ABI comparison for a
+// memory-intensive workload (520.omnetpp_r), with the top-down drill-down
+// of §4.4: where do the extra cycles go when 64-bit pointers become
+// 128-bit capabilities, and how much does the purecap-benchmark ABI's
+// integer-jump workaround recover?
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"cherisim"
+)
+
+func main() {
+	workload := "520.omnetpp_r"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	type row struct {
+		abi cherisim.ABI
+		res *cherisim.Result
+	}
+	var rows []row
+	for _, a := range []cherisim.ABI{cherisim.Hybrid, cherisim.Benchmark, cherisim.Purecap} {
+		res, err := cherisim.Run(workload, a, 1)
+		if err != nil {
+			log.Fatalf("%s/%s: %v", workload, a, err)
+		}
+		rows = append(rows, row{a, res})
+	}
+	base := rows[0].res.Metrics.Seconds
+
+	fmt.Printf("%s under the three CheriBSD ABIs\n\n", workload)
+	tw := tabwriter.NewWriter(os.Stdout, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "abi\ttime(s)\tvs hybrid\tIPC\tretiring\tfrontend\tbackend\tmem-bound\tcore-bound")
+	for _, r := range rows {
+		m, td := r.res.Metrics, r.res.Topdown
+		fmt.Fprintf(tw, "%s\t%.4f\t%.3fx\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.abi, m.Seconds, m.Seconds/base, m.IPC,
+			td.Retiring, td.FrontendBound, td.BackendBound, td.MemoryBound, td.CoreBound)
+	}
+	tw.Flush()
+
+	pure := rows[2].res.Metrics.Seconds / base
+	bench := rows[1].res.Metrics.Seconds / base
+	if pure > 1 {
+		fmt.Printf("\nbenchmark ABI recovers %.0f%% of the purecap overhead ", (pure-bench)/(pure-1)*100)
+		fmt.Println("(the PCC-bounds branch-predictor cost, §4.5)")
+	}
+}

@@ -1,0 +1,103 @@
+// custom-workload shows how to characterize your own program on the
+// simulated Morello platform using the execution-context API directly: a
+// small hash-join kernel (build a hash table of pointer-linked buckets,
+// probe it with a second relation) measured under all three ABIs.
+//
+// This is the path a downstream user takes to answer "what would CHERI do
+// to *my* data structure?" before porting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"cherisim"
+	"cherisim/internal/core"
+	"cherisim/internal/metrics"
+	"cherisim/internal/topdown"
+)
+
+// hashJoin is the custom kernel: everything it does — allocation, pointer
+// stores, dependent pointer chases, arithmetic, branches — flows through
+// the simulated machine, so the per-ABI differences are measured, not
+// guessed.
+func hashJoin(m *core.Machine) {
+	fnBuild := m.Func("build_side", 1024, 96)
+	fnProbe := m.Func("probe_side", 1536, 96)
+
+	const buckets = 1 << 12
+	const buildRows = 30000
+	const probeRows = 60000
+
+	// Bucket entry: {next *Entry, key u64, payload u64}.
+	entryL := m.Layout(core.FieldPtr, core.FieldU64, core.FieldU64)
+	slot := m.ABI.PointerSize()
+	table := m.Alloc(buckets * slot)
+
+	// Build phase.
+	m.Call(fnBuild, false)
+	seed := uint64(1)
+	for i := 0; i < buildRows; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		key := seed % (buildRows * 4)
+		b := key % buckets
+		e := m.AllocRecord(entryL)
+		head := m.LoadPtr(table + core.Ptr(b*slot))
+		m.StorePtr(entryL.Field(e, 0), head)
+		m.Store(entryL.Field(e, 1), key, 8)
+		m.Store(entryL.Field(e, 2), uint64(i), 8)
+		m.StorePtr(table+core.Ptr(b*slot), e)
+		m.ALU(3) // hash
+		m.BranchAt(1, i+1 < buildRows)
+	}
+	m.Return()
+
+	// Probe phase: dependent chain walks per probe key.
+	m.Call(fnProbe, false)
+	matches := 0
+	for i := 0; i < probeRows; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		key := seed % (buildRows * 4)
+		b := key % buckets
+		m.ALU(3)
+		for e := m.LoadPtr(table + core.Ptr(b*slot)); e != 0; e = m.LoadPtr(entryL.Field(e, 0)) {
+			k := m.LoadDep(entryL.Field(e, 1), 8)
+			m.ALU(1)
+			hit := k == key
+			m.BranchAt(2, hit)
+			if hit {
+				m.Load(entryL.Field(e, 2), 8)
+				matches++
+				break
+			}
+		}
+		m.BranchAt(3, i+1 < probeRows)
+	}
+	m.Return()
+	_ = matches
+}
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "abi\ttime(s)\tvs hybrid\tIPC\tcapLD%\tL2 MR%\tdominant bottleneck")
+	var base float64
+	for _, a := range []cherisim.ABI{cherisim.Hybrid, cherisim.Benchmark, cherisim.Purecap} {
+		m := cherisim.NewMachine(a)
+		if err := m.Run(hashJoin); err != nil {
+			log.Fatalf("%s: %v", a, err)
+		}
+		mm := metrics.Compute(&m.C)
+		td := topdown.Analyze(&m.C)
+		if base == 0 {
+			base = mm.Seconds
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.3fx\t%.3f\t%.1f\t%.2f\t%s\n",
+			a, mm.Seconds, mm.Seconds/base, mm.IPC,
+			mm.CapLoadDensity*100, mm.L2MR*100, td.DominantBottleneck())
+	}
+	tw.Flush()
+	fmt.Println("\nA pointer-chasing hash join: expect purecap overhead from 16-byte")
+	fmt.Println("bucket chains (halved L2 residency) plus capability-load serialisation.")
+}

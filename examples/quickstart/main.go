@@ -1,0 +1,37 @@
+// Quickstart: run one benchmark under the pure-capability ABI and print
+// the headline numbers a Morello performance engineer would look at first
+// — execution time versus the hybrid baseline, IPC, and the CHERI-specific
+// capability-traffic metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cherisim"
+)
+
+func main() {
+	hybrid, err := cherisim.Run("sqlite", cherisim.Hybrid, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	purecap, err := cherisim.Run("sqlite", cherisim.Purecap, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SQLite speedtest1 on the simulated Morello platform")
+	fmt.Printf("  hybrid:  %.4f s  (IPC %.3f)\n", hybrid.Metrics.Seconds, hybrid.Metrics.IPC)
+	fmt.Printf("  purecap: %.4f s  (IPC %.3f)\n", purecap.Metrics.Seconds, purecap.Metrics.IPC)
+	fmt.Printf("  purecap overhead: %+.1f%%  (paper: +61.2%%)\n",
+		(purecap.Metrics.Seconds/hybrid.Metrics.Seconds-1)*100)
+	fmt.Println()
+	fmt.Printf("  capability load density:  %.1f%% of loads  (paper: 49.7%%)\n",
+		purecap.Metrics.CapLoadDensity*100)
+	fmt.Printf("  capability traffic share: %.1f%% of memory ops\n",
+		purecap.Metrics.CapTrafficShare*100)
+	fmt.Printf("  heap footprint: %d B hybrid -> %d B purecap (%+.1f%%)\n",
+		hybrid.HeapBytes, purecap.HeapBytes,
+		(float64(purecap.HeapBytes)/float64(hybrid.HeapBytes)-1)*100)
+}

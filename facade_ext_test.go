@@ -1,0 +1,64 @@
+package cherisim
+
+import "testing"
+
+func TestCoRunFacade(t *testing.T) {
+	results, err := CoRun([]string{"llama-matmul", "541.leela_r"}, Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Metrics.Cycles == 0 {
+			t.Errorf("core %d: no cycles", i)
+		}
+	}
+	if _, err := CoRun(nil, Purecap, 1); err == nil {
+		t.Error("empty co-run accepted")
+	}
+	if _, err := CoRun(make([]string, 5), Purecap, 1); err == nil {
+		t.Error("five-core co-run accepted on a quad-core SoC")
+	}
+}
+
+func TestCoRunContentionVisibleThroughFacade(t *testing.T) {
+	solo, err := Run("520.omnetpp_r", Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := CoRun([]string{"520.omnetpp_r", "520.omnetpp_r", "520.omnetpp_r", "520.omnetpp_r"}, Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := co[0].Metrics.Seconds / solo.Metrics.Seconds
+	if slow < 1.01 {
+		t.Errorf("4-way co-run slowdown = %.3f, want contention", slow)
+	}
+}
+
+func TestRunTemporalSafetyFacade(t *testing.T) {
+	res, sweeps, err := RunTemporalSafety("quickjs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) == 0 {
+		t.Fatal("no revocation sweeps for the churn-heavy interpreter")
+	}
+	var revoked uint64
+	for _, s := range sweeps {
+		revoked += s.CapsRevoked
+	}
+	if revoked == 0 {
+		t.Error("no capabilities revoked")
+	}
+	base, err := Run("quickjs", Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := res.Metrics.Seconds/base.Metrics.Seconds - 1
+	if overhead < 0 || overhead > 0.25 {
+		t.Errorf("temporal-safety overhead = %+.1f%%, want low single digits", overhead*100)
+	}
+}

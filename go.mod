@@ -1,0 +1,3 @@
+module cherisim
+
+go 1.22

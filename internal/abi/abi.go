@@ -1,0 +1,140 @@
+// Package abi defines the three CheriBSD Application Binary Interfaces the
+// paper compares on Morello (§2.4) and the code-generation consequences
+// that the simulator's lowering applies: pointer width, which memory
+// operations become capability operations, how much extra capability-
+// manipulation arithmetic the compiler emits, and whether control transfers
+// change PCC bounds (the source of Morello's branch-predictor stalls).
+package abi
+
+import "fmt"
+
+// ABI selects one of the three CheriBSD ABIs.
+type ABI int
+
+const (
+	// Hybrid is the AArch64 baseline: conventional 64-bit integer
+	// pointers; capabilities only where explicitly annotated (we model
+	// none). This is the paper's performance baseline.
+	Hybrid ABI = iota
+	// Benchmark is the purecap-benchmark ABI: identical memory layout and
+	// nearly identical code generation to Purecap, but a single global PCC
+	// and integer jumps for calls/returns, isolating Morello's
+	// branch-predictor limitation.
+	Benchmark
+	// Purecap is the pure-capability ABI: every pointer (language-level
+	// and sub-language: stack, return addresses, GOT) is a 128-bit
+	// capability, and control transfers use capability jumps that update
+	// PCC bounds.
+	Purecap
+	// NumABIs is the number of ABIs.
+	NumABIs
+)
+
+var names = [NumABIs]string{"hybrid", "purecap-benchmark", "purecap"}
+
+// String returns the CheriBSD name of the ABI.
+func (a ABI) String() string {
+	if a < 0 || a >= NumABIs {
+		return fmt.Sprintf("abi(%d)", int(a))
+	}
+	return names[a]
+}
+
+// Parse resolves an ABI name (also accepting the "benchmark" shorthand).
+func Parse(s string) (ABI, error) {
+	switch s {
+	case "hybrid", "aarch64":
+		return Hybrid, nil
+	case "benchmark", "purecap-benchmark":
+		return Benchmark, nil
+	case "purecap":
+		return Purecap, nil
+	}
+	return 0, fmt.Errorf("abi: unknown ABI %q", s)
+}
+
+// All returns the three ABIs in the paper's presentation order.
+func All() []ABI { return []ABI{Hybrid, Benchmark, Purecap} }
+
+// PointerSize returns the in-memory size of a language-level pointer.
+func (a ABI) PointerSize() uint64 {
+	if a == Hybrid {
+		return 8
+	}
+	return 16
+}
+
+// PointerAlign returns the required alignment of a pointer slot.
+func (a ABI) PointerAlign() uint64 { return a.PointerSize() }
+
+// PointersAreCapabilities reports whether pointer loads/stores move tagged
+// 128-bit capabilities (and therefore count as CAP_MEM_ACCESS / CTAG
+// events).
+func (a ABI) PointersAreCapabilities() bool { return a != Hybrid }
+
+// CapabilityJumps reports whether calls, returns and indirect branches are
+// capability branches that install new PCC bounds. Only the full purecap
+// ABI uses them; purecap-benchmark deliberately replaces them with integer
+// jumps under a global PCC.
+func (a ABI) CapabilityJumps() bool { return a == Purecap }
+
+// PtrArithDPOps returns the number of extra integer data-processing µops
+// the compiler emits per pointer-manipulation site (address derivation,
+// bounds association, captable indirection) relative to hybrid code. This
+// is part of the mechanism behind the DP_SPEC share growth the paper
+// reports in Figure 5.
+func (a ABI) PtrArithDPOps() uint64 {
+	if a == Hybrid {
+		return 0
+	}
+	return 2
+}
+
+// MemAccessDPOps returns the average number of extra data-processing µops
+// per data memory access under this ABI's code generation: capability-
+// relative addressing, global accesses indirected through the captable,
+// and bounds set-up for address computations that AArch64 folds into
+// addressing modes. Fractional; the machine accumulates and emits whole
+// µops. Together with PtrArithDPOps this reproduces the paper's dynamic
+// instruction-count inflation under the purecap ABIs (derivable from
+// Table 3 as time-ratio x IPC-ratio: up to ~1.7x for omnetpp and ~1.9x
+// for QuickJS).
+func (a ABI) MemAccessDPOps() float64 {
+	if a == Hybrid {
+		return 0
+	}
+	return 0.18
+}
+
+// AllocDPOps returns the extra µops spent per heap allocation on deriving
+// and bounding the returned capability (SCBNDS + representability checks in
+// the allocator).
+func (a ABI) AllocDPOps() uint64 {
+	if a == Hybrid {
+		return 0
+	}
+	return 4
+}
+
+// CallOverheadDPOps returns extra per-call µops for capability call
+// sequences (capability spills of the return capability, CSP handling).
+func (a ABI) CallOverheadDPOps() uint64 {
+	if a == Hybrid {
+		return 0
+	}
+	return 1
+}
+
+// SpillSlotSize returns the stack spill-slot size for saved registers that
+// may hold pointers (return address, frame pointer): capability-sized under
+// both purecap ABIs.
+func (a ABI) SpillSlotSize() uint64 { return a.PointerSize() }
+
+// CodeSizeFactor scales function code footprints relative to hybrid,
+// reflecting the ~10 % .text growth measured in the paper's Figure 2.
+func (a ABI) CodeSizeFactor() float64 {
+	if a == Hybrid {
+		return 1.0
+	}
+	return 1.10
+}

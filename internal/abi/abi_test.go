@@ -1,0 +1,72 @@
+package abi
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := map[string]ABI{
+		"hybrid":            Hybrid,
+		"aarch64":           Hybrid,
+		"benchmark":         Benchmark,
+		"purecap-benchmark": Benchmark,
+		"purecap":           Purecap,
+	}
+	for s, want := range cases {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := Parse("cheri"); err == nil {
+		t.Error("bogus ABI parsed")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, a := range All() {
+		got, err := Parse(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip %v failed: %v %v", a, got, err)
+		}
+	}
+}
+
+func TestPointerSizes(t *testing.T) {
+	if Hybrid.PointerSize() != 8 {
+		t.Error("hybrid pointers must be 8 bytes")
+	}
+	if Purecap.PointerSize() != 16 || Benchmark.PointerSize() != 16 {
+		t.Error("purecap ABIs must use 16-byte pointers")
+	}
+}
+
+func TestBenchmarkABIIsolatesPCC(t *testing.T) {
+	// The whole point of the benchmark ABI: same memory profile as purecap
+	// (capability pointers), but no capability jumps.
+	if !Benchmark.PointersAreCapabilities() {
+		t.Error("benchmark ABI must keep capability pointers")
+	}
+	if Benchmark.CapabilityJumps() {
+		t.Error("benchmark ABI must use integer jumps")
+	}
+	if !Purecap.CapabilityJumps() {
+		t.Error("purecap must use capability jumps")
+	}
+	if Hybrid.CapabilityJumps() || Hybrid.PointersAreCapabilities() {
+		t.Error("hybrid must be fully conventional")
+	}
+}
+
+func TestLoweringOverheadsOrdering(t *testing.T) {
+	if Hybrid.PtrArithDPOps() != 0 || Hybrid.AllocDPOps() != 0 {
+		t.Error("hybrid must have no capability-manipulation overhead")
+	}
+	if Purecap.PtrArithDPOps() == 0 || Benchmark.PtrArithDPOps() == 0 {
+		t.Error("purecap ABIs must add capability-manipulation DP ops")
+	}
+	if Purecap.PtrArithDPOps() != Benchmark.PtrArithDPOps() {
+		t.Error("benchmark ABI must keep purecap's code generation for data")
+	}
+	if Hybrid.CodeSizeFactor() != 1.0 || Purecap.CodeSizeFactor() <= 1.0 {
+		t.Error("code size factors wrong")
+	}
+}

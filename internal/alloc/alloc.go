@@ -1,0 +1,243 @@
+// Package alloc implements the simulated user-space heap allocator. It
+// reproduces the allocation behaviour that makes purecap memory footprints
+// grow on Morello: under the purecap ABIs every allocation must be
+// precisely describable by a CHERI Concentrate capability, so sizes are
+// rounded up to representable lengths and bases aligned to the
+// representability mask (CRRL/CRAM, as CheriBSD's jemalloc does); pointers
+// stored inside allocations double from 8 to 16 bytes (that part is the
+// record-layout model in internal/core).
+//
+// The allocator is a size-class segregated free-list over a bump region,
+// deterministic and O(1), with live-allocation tracking used by the
+// simulator to derive correctly-bounded capabilities for stored pointers
+// and to detect use-after-free in the temporal-safety experiments.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/cap"
+)
+
+// headerSize is the per-allocation bookkeeping overhead (same under all
+// ABIs, as jemalloc's is).
+const headerSize = 0
+
+// minAlign is the minimum allocation alignment. CheriBSD's allocator keeps
+// 16-byte alignment in all ABIs so capabilities stored at offset 0 work.
+const minAlign = 16
+
+// Range is a half-open address interval [Base, Base+Size).
+type Range struct {
+	Base, Size uint64
+}
+
+// Heap is a simulated heap over [base, limit).
+type Heap struct {
+	abi   abi.ABI
+	base  uint64
+	limit uint64
+	brk   uint64
+
+	// Quarantine, when set, defers freed blocks instead of reusing them
+	// until a revocation sweep drains them (heap temporal safety in the
+	// style of Cornucopia: freed memory cannot be reallocated while
+	// capabilities to it may still be live).
+	Quarantine      bool
+	quarantined     []Range
+	quarantineBytes uint64
+
+	// free lists keyed by rounded size class.
+	free map[uint64][]uint64
+	// live maps allocation base -> usable (rounded) size.
+	live map[uint64]uint64
+	// sorted is the ordered index of live allocation bases, maintained
+	// incrementally so Owner lookups are O(log n).
+	sorted []uint64
+
+	// Statistics.
+	allocs        uint64
+	frees         uint64
+	liveBytes     uint64
+	peakLiveBytes uint64
+	requested     uint64 // sum of requested sizes
+	rounded       uint64 // sum of sizes after representability rounding
+}
+
+// New creates a heap for the given ABI spanning [base, base+size).
+func New(a abi.ABI, base, size uint64) *Heap {
+	return &Heap{
+		abi:   a,
+		base:  base,
+		limit: base + size,
+		brk:   base,
+		free:  make(map[uint64][]uint64),
+		live:  make(map[uint64]uint64),
+	}
+}
+
+// roundSize converts a requested size into the allocated size class:
+// minimum-aligned always, and representability-rounded under purecap ABIs.
+func (h *Heap) roundSize(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + minAlign - 1) &^ (minAlign - 1)
+	if h.abi.PointersAreCapabilities() {
+		size = cap.RepresentableLength(size)
+	}
+	return size
+}
+
+// alignFor returns the base alignment required for an allocation of the
+// given (rounded) size.
+func (h *Heap) alignFor(size uint64) uint64 {
+	align := uint64(minAlign)
+	if h.abi.PointersAreCapabilities() {
+		mask := cap.RepresentableAlignmentMask(size)
+		if a := ^mask + 1; a > align {
+			align = a
+		}
+	}
+	return align
+}
+
+// Alloc returns the address of a fresh allocation of at least size bytes.
+func (h *Heap) Alloc(size uint64) (uint64, error) {
+	rsize := h.roundSize(size)
+	if fl := h.free[rsize]; len(fl) > 0 {
+		addr := fl[len(fl)-1]
+		h.free[rsize] = fl[:len(fl)-1]
+		h.commit(addr, size, rsize)
+		return addr, nil
+	}
+	align := h.alignFor(rsize)
+	addr := (h.brk + headerSize + align - 1) &^ (align - 1)
+	if addr+rsize > h.limit {
+		return 0, fmt.Errorf("alloc: out of simulated heap (%d bytes requested, brk %#x, limit %#x)", size, h.brk, h.limit)
+	}
+	h.brk = addr + rsize
+	h.commit(addr, size, rsize)
+	return addr, nil
+}
+
+func (h *Heap) commit(addr, size, rsize uint64) {
+	h.live[addr] = rsize
+	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= addr })
+	h.sorted = append(h.sorted, 0)
+	copy(h.sorted[i+1:], h.sorted[i:])
+	h.sorted[i] = addr
+	h.allocs++
+	h.requested += size
+	h.rounded += rsize
+	h.liveBytes += rsize
+	if h.liveBytes > h.peakLiveBytes {
+		h.peakLiveBytes = h.liveBytes
+	}
+}
+
+// Free releases the allocation at addr. Freeing an unknown address is an
+// error (the double-free / invalid-free of the temporal-safety model).
+func (h *Heap) Free(addr uint64) error {
+	rsize, ok := h.live[addr]
+	if !ok {
+		return fmt.Errorf("alloc: invalid free of %#x", addr)
+	}
+	delete(h.live, addr)
+	if i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= addr }); i < len(h.sorted) && h.sorted[i] == addr {
+		h.sorted = append(h.sorted[:i], h.sorted[i+1:]...)
+	}
+	h.frees++
+	h.liveBytes -= rsize
+	if h.Quarantine {
+		h.quarantined = append(h.quarantined, Range{Base: addr, Size: rsize})
+		h.quarantineBytes += rsize
+		return nil
+	}
+	h.free[rsize] = append(h.free[rsize], addr)
+	return nil
+}
+
+// QuarantineBytes returns the bytes currently held in quarantine.
+func (h *Heap) QuarantineBytes() uint64 { return h.quarantineBytes }
+
+// DrainQuarantine returns the quarantined ranges (sorted by base) and
+// releases them back to the free lists — the allocator half of a
+// revocation sweep: once every capability into these ranges has been
+// invalidated, reuse is safe.
+func (h *Heap) DrainQuarantine() []Range {
+	out := h.quarantined
+	h.quarantined = nil
+	h.quarantineBytes = 0
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	for _, r := range out {
+		h.free[r.Size] = append(h.free[r.Size], r.Base)
+	}
+	return out
+}
+
+// SizeOf returns the usable size of the live allocation at addr, or false
+// if addr is not a live allocation base.
+func (h *Heap) SizeOf(addr uint64) (uint64, bool) {
+	s, ok := h.live[addr]
+	return s, ok
+}
+
+// Owner returns the allocation base and size containing addr, using the
+// maintained sorted index (O(log n)). The machine uses it to derive
+// bounded capabilities for interior pointers and for spatial checks.
+func (h *Heap) Owner(addr uint64) (base, size uint64, ok bool) {
+	if s, o := h.live[addr]; o {
+		return addr, s, true
+	}
+	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] > addr })
+	if i == 0 {
+		return 0, 0, false
+	}
+	b := h.sorted[i-1]
+	s := h.live[b]
+	if addr < b+s {
+		return b, s, true
+	}
+	return 0, 0, false
+}
+
+// Stats describes allocator activity and footprint.
+type Stats struct {
+	Allocs, Frees  uint64
+	LiveBytes      uint64
+	PeakLiveBytes  uint64
+	RequestedBytes uint64
+	RoundedBytes   uint64
+	BrkBytes       uint64 // high-water bump pointer (address-space footprint)
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Allocs:         h.allocs,
+		Frees:          h.frees,
+		LiveBytes:      h.liveBytes,
+		PeakLiveBytes:  h.peakLiveBytes,
+		RequestedBytes: h.requested,
+		RoundedBytes:   h.rounded,
+		BrkBytes:       h.brk - h.base,
+	}
+}
+
+// OverheadRatio returns rounded/requested bytes — the allocator-level
+// footprint inflation caused by representability rounding (1.0 for hybrid).
+func (s Stats) OverheadRatio() float64 {
+	if s.RequestedBytes == 0 {
+		return 1
+	}
+	return float64(s.RoundedBytes) / float64(s.RequestedBytes)
+}
+
+// Base returns the heap's base address.
+func (h *Heap) Base() uint64 { return h.base }
+
+// Brk returns the current bump pointer.
+func (h *Heap) Brk() uint64 { return h.brk }

@@ -1,0 +1,198 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/cap"
+)
+
+const heapBase = 0x4000_0000
+
+func newHeap(a abi.ABI) *Heap { return New(a, heapBase, 1<<30) }
+
+func TestAllocBasics(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	a, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("duplicate allocation")
+	}
+	if a%minAlign != 0 || b%minAlign != 0 {
+		t.Fatal("unaligned allocation")
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	for _, a := range abi.All() {
+		h := newHeap(a)
+		rng := rand.New(rand.NewSource(11))
+		type region struct{ base, size uint64 }
+		var regions []region
+		for i := 0; i < 500; i++ {
+			size := uint64(rng.Intn(1<<14) + 1)
+			addr, err := h.Alloc(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range regions {
+				if addr < r.base+r.size && r.base < addr+size {
+					t.Fatalf("abi %v: allocation [%#x,+%d) overlaps [%#x,+%d)", a, addr, size, r.base, r.size)
+				}
+			}
+			regions = append(regions, region{addr, size})
+		}
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	a, _ := h.Alloc(64)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := h.Alloc(64)
+	if a != b {
+		t.Errorf("freed block not reused: %#x vs %#x", a, b)
+	}
+}
+
+func TestInvalidFree(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	if err := h.Free(0xdead); err == nil {
+		t.Fatal("invalid free accepted")
+	}
+	a, _ := h.Alloc(64)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestPurecapRepresentabilityRounding(t *testing.T) {
+	h := newHeap(abi.Purecap)
+	// A large odd-sized allocation must be rounded so its capability is
+	// exactly representable.
+	size := uint64(1<<20 + 7)
+	addr, err := h.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.SizeOf(addr)
+	if got < size {
+		t.Fatalf("usable size %d < requested %d", got, size)
+	}
+	if got != cap.RepresentableLength((size+15)&^15) {
+		t.Errorf("rounded size %d != CRRL %d", got, cap.RepresentableLength((size+15)&^15))
+	}
+	mask := cap.RepresentableAlignmentMask(got)
+	if addr&^mask != 0 {
+		t.Errorf("base %#x not CRAM-aligned (mask %#x)", addr, mask)
+	}
+	// The capability for this allocation must be exact.
+	if _, err := cap.Root().SetBoundsExact(addr, got); err != nil {
+		t.Errorf("allocation not exactly representable: %v", err)
+	}
+}
+
+func TestHybridNoRounding(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	size := uint64(1<<20 + 7)
+	addr, _ := h.Alloc(size)
+	got, _ := h.SizeOf(addr)
+	want := (size + 15) &^ 15
+	if got != want {
+		t.Errorf("hybrid rounded %d to %d, want %d", size, got, want)
+	}
+	_ = addr
+}
+
+func TestPurecapFootprintInflation(t *testing.T) {
+	// Large allocations inflate more under purecap than hybrid.
+	hy, pc := newHeap(abi.Hybrid), newHeap(abi.Purecap)
+	for i := 0; i < 100; i++ {
+		size := uint64(100_000 + i*13)
+		if _, err := hy.Alloc(size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pc.Alloc(size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Stats().OverheadRatio() <= hy.Stats().OverheadRatio() {
+		t.Errorf("purecap overhead %.4f <= hybrid %.4f",
+			pc.Stats().OverheadRatio(), hy.Stats().OverheadRatio())
+	}
+}
+
+func TestOwnerInteriorPointer(t *testing.T) {
+	h := newHeap(abi.Purecap)
+	a, _ := h.Alloc(256)
+	base, size, ok := h.Owner(a + 100)
+	if !ok || base != a || size < 256 {
+		t.Fatalf("Owner(interior) = %#x,%d,%v", base, size, ok)
+	}
+	if _, _, ok := h.Owner(a + 100000); ok {
+		t.Fatal("Owner found non-allocation")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := New(abi.Hybrid, heapBase, 4096)
+	if _, err := h.Alloc(1 << 20); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	h.Free(a)
+	s := h.Stats()
+	if s.Allocs != 2 || s.Frees != 1 {
+		t.Errorf("allocs/frees = %d/%d", s.Allocs, s.Frees)
+	}
+	if s.LiveBytes != 64 || s.PeakLiveBytes != 128 {
+		t.Errorf("live/peak = %d/%d", s.LiveBytes, s.PeakLiveBytes)
+	}
+	_ = b
+}
+
+func TestAllocPropertyUsableSize(t *testing.T) {
+	// Property: usable size always >= requested, base always aligned for
+	// its size class, under every ABI.
+	f := func(sizeSeed uint32, abiSeed uint8) bool {
+		a := abi.ABI(abiSeed % uint8(abi.NumABIs))
+		h := newHeap(a)
+		size := uint64(sizeSeed%(1<<22)) + 1
+		addr, err := h.Alloc(size)
+		if err != nil {
+			return false
+		}
+		usable, ok := h.SizeOf(addr)
+		if !ok || usable < size {
+			return false
+		}
+		if a.PointersAreCapabilities() {
+			mask := cap.RepresentableAlignmentMask(usable)
+			if addr&^mask != 0 {
+				return false
+			}
+		}
+		return addr%minAlign == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package branch models the Neoverse N1 branch prediction machinery as it
+// behaves on Morello: a gshare-style direction predictor, a branch target
+// buffer for indirect branches, and a return-address stack. The critical
+// Morello artefact from the paper (§2.2, §4.5) is reproduced by the
+// TracksPCCBounds switch: the N1 predictor does not track Program Counter
+// Capability bounds, so under the purecap ABI every control transfer that
+// changes PCC bounds (inter-library calls/returns, virtual dispatch through
+// capability jumps) forces a frontend resteer stall even when the target
+// was predicted correctly. The purecap-benchmark ABI avoids these stalls by
+// using a single global PCC and integer jumps.
+package branch
+
+// Kind classifies a control-flow instruction, mirroring the BR_*_SPEC PMU
+// taxonomy.
+type Kind int
+
+const (
+	// Immed is a direct conditional or unconditional branch.
+	Immed Kind = iota
+	// Indirect is a register-target branch (virtual dispatch, switch).
+	Indirect
+	// Call is a direct function call (BL / BLR-with-link).
+	Call
+	// Return is a function return.
+	Return
+)
+
+// MispredictPenalty is the pipeline-flush cost of a mispredicted branch on
+// an N1-class core (refill of an ~11-stage frontend).
+const MispredictPenalty = 11
+
+// CapJumpCost is the base frontend cost of any capability branch (BLR/RET
+// on sealed or capability targets) on the Morello prototype, even when the
+// PCC bounds do not change: the fetch unit re-validates the target against
+// the capability before the frontend can stream. The purecap-benchmark ABI
+// avoids it by using integer jumps.
+const CapJumpCost = 1.5
+
+// PCCStallPenalty is the frontend stall incurred when a control transfer
+// changes PCC bounds and the predictor cannot anticipate the new bounds.
+// The fetch unit must wait for the capability branch to resolve before it
+// can validate fetched addresses against the new PCC.
+const PCCStallPenalty = 16
+
+// Stats exposes prediction activity to the PMU.
+type Stats struct {
+	Branches    uint64 // BR_RETIRED
+	Mispredicts uint64 // BR_MIS_PRED_RETIRED
+	PCCStalls   uint64 // Morello-specific: bounds-change resteers
+}
+
+// Predictor is the combined direction/target/return predictor.
+type Predictor struct {
+	// TracksPCCBounds models a hypothetical capability-aware predictor;
+	// false reproduces the Morello prototype.
+	TracksPCCBounds bool
+
+	historyBits uint
+	history     uint64
+	pht         []uint8 // 2-bit saturating counters
+	btb         map[uint64]uint64
+	ras         []uint64
+	rasMax      int
+	Stats       Stats
+}
+
+// New builds a predictor with N1-like capacities: 2^14-entry pattern
+// history table, unbounded-but-small BTB map, 16-deep return stack.
+func New() *Predictor {
+	const histBits = 14
+	return &Predictor{
+		historyBits: histBits,
+		pht:         make([]uint8, 1<<histBits),
+		btb:         make(map[uint64]uint64),
+		ras:         make([]uint64, 0, 16),
+		rasMax:      16,
+	}
+}
+
+// Outcome reports the cost of one executed branch.
+type Outcome struct {
+	Mispredict  bool
+	PCCStall    bool
+	StallCycles uint64
+}
+
+// Resolve runs prediction and update for a retired branch at pc with the
+// actual direction/target, and accounts Morello PCC-bounds behaviour when
+// pccChanged is set (the transfer installs different PCC bounds).
+func (p *Predictor) Resolve(pc uint64, kind Kind, taken bool, target uint64, pccChanged bool) Outcome {
+	p.Stats.Branches++
+	var out Outcome
+
+	switch kind {
+	case Immed:
+		idx := (pc>>2 ^ p.history) & (1<<p.historyBits - 1)
+		ctr := p.pht[idx]
+		predTaken := ctr >= 2
+		if predTaken != taken {
+			out.Mispredict = true
+		}
+		if taken && ctr < 3 {
+			p.pht[idx]++
+		} else if !taken && ctr > 0 {
+			p.pht[idx]--
+		}
+		p.history = (p.history << 1) & (1<<p.historyBits - 1)
+		if taken {
+			p.history |= 1
+		}
+	case Indirect:
+		pred, ok := p.btb[pc]
+		if !ok || pred != target {
+			out.Mispredict = true
+		}
+		p.btb[pc] = target
+	case Call:
+		// Direct calls predict perfectly; the caller pushes the return
+		// address separately via PushReturn.
+	case Return:
+		if n := len(p.ras); n > 0 {
+			pred := p.ras[n-1]
+			p.ras = p.ras[:n-1]
+			if pred != target {
+				out.Mispredict = true
+			}
+		} else {
+			out.Mispredict = true
+		}
+	}
+
+	if out.Mispredict {
+		p.Stats.Mispredicts++
+		out.StallCycles += MispredictPenalty
+	}
+	if pccChanged && !p.TracksPCCBounds {
+		// Bounds-change resteer: fetch cannot validate addresses against
+		// the incoming PCC until the capability branch resolves, so the
+		// stall serialises on top of any mispredict flush.
+		p.Stats.PCCStalls++
+		out.PCCStall = true
+		out.StallCycles += PCCStallPenalty
+	}
+	return out
+}
+
+// PushReturn records a call's return address on the return-address stack.
+// Both direct and indirect (virtual) calls push; the matching Return's
+// Resolve pops and compares.
+func (p *Predictor) PushReturn(retAddr uint64) {
+	if len(p.ras) == p.rasMax {
+		copy(p.ras, p.ras[1:])
+		p.ras = p.ras[:len(p.ras)-1]
+	}
+	p.ras = append(p.ras, retAddr)
+}
+
+// MispredictRate returns the paper's Branch Prediction MR.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}

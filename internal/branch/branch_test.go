@@ -1,0 +1,141 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBiasedBranchLearns(t *testing.T) {
+	p := New()
+	pc := uint64(0x1000)
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if p.Resolve(pc, Immed, true, 0, false).Mispredict {
+			misses++
+		}
+	}
+	// gshare trains one PHT entry per distinct history value, so an
+	// always-taken branch pays ~historyBits cold misses while the global
+	// history register fills with ones, then predicts perfectly.
+	if misses > 20 {
+		t.Errorf("always-taken branch mispredicted %d times", misses)
+	}
+}
+
+func TestAlternatingPatternLearns(t *testing.T) {
+	p := New()
+	pc := uint64(0x2000)
+	misses := 0
+	for i := 0; i < 2000; i++ {
+		if p.Resolve(pc, Immed, i%2 == 0, 0, false).Mispredict {
+			misses++
+		}
+	}
+	// gshare captures the alternating pattern through history.
+	if misses > 50 {
+		t.Errorf("alternating branch mispredicted %d/2000 times", misses)
+	}
+}
+
+func TestRandomBranchMispredictsOften(t *testing.T) {
+	p := New()
+	rng := rand.New(rand.NewSource(3))
+	misses := 0
+	for i := 0; i < 4000; i++ {
+		if p.Resolve(0x3000, Immed, rng.Intn(2) == 0, 0, false).Mispredict {
+			misses++
+		}
+	}
+	if misses < 1200 {
+		t.Errorf("random branch mispredicted only %d/4000", misses)
+	}
+}
+
+func TestIndirectBTB(t *testing.T) {
+	p := New()
+	if !p.Resolve(0x4000, Indirect, true, 0xaaaa, false).Mispredict {
+		t.Fatal("cold indirect predicted")
+	}
+	if p.Resolve(0x4000, Indirect, true, 0xaaaa, false).Mispredict {
+		t.Fatal("repeated indirect mispredicted")
+	}
+	if !p.Resolve(0x4000, Indirect, true, 0xbbbb, false).Mispredict {
+		t.Fatal("changed target predicted")
+	}
+}
+
+func TestReturnStack(t *testing.T) {
+	p := New()
+	p.Resolve(0x1000, Call, true, 0x9000, false)
+	p.PushReturn(0x1004)
+	p.Resolve(0x2000, Call, true, 0x9100, false)
+	p.PushReturn(0x2004)
+	if p.Resolve(0x9100, Return, true, 0x2004, false).Mispredict {
+		t.Fatal("matched return mispredicted")
+	}
+	if p.Resolve(0x9000, Return, true, 0x1004, false).Mispredict {
+		t.Fatal("matched outer return mispredicted")
+	}
+	if !p.Resolve(0x9000, Return, true, 0xdead, false).Mispredict {
+		t.Fatal("empty-RAS return predicted")
+	}
+}
+
+func TestRASOverflow(t *testing.T) {
+	p := New()
+	for i := 0; i < 20; i++ {
+		p.Resolve(uint64(0x1000+i*4), Call, true, 0x9000, false)
+		p.PushReturn(uint64(0x1000+i*4) + 4)
+	}
+	// The deepest 16 returns predict; the oldest were pushed out.
+	bad := 0
+	for i := 19; i >= 0; i-- {
+		if p.Resolve(0x9000, Return, true, uint64(0x1000+i*4)+4, false).Mispredict {
+			bad++
+		}
+	}
+	if bad != 4 {
+		t.Errorf("overflowed RAS mispredicts = %d, want 4", bad)
+	}
+}
+
+func TestPCCStallOnMorello(t *testing.T) {
+	p := New() // TracksPCCBounds = false: the Morello prototype
+	out := p.Resolve(0x1000, Call, true, 0x9000, true)
+	if !out.PCCStall {
+		t.Fatal("PCC-bounds change did not stall on Morello model")
+	}
+	if out.StallCycles != PCCStallPenalty {
+		t.Errorf("stall = %d, want %d", out.StallCycles, PCCStallPenalty)
+	}
+	if p.Stats.PCCStalls != 1 {
+		t.Errorf("PCC stalls = %d", p.Stats.PCCStalls)
+	}
+}
+
+func TestCapabilityAwarePredictorNoPCCStall(t *testing.T) {
+	p := New()
+	p.TracksPCCBounds = true // hypothetical future implementation (§4.5)
+	out := p.Resolve(0x1000, Call, true, 0x9000, true)
+	if out.PCCStall || out.StallCycles != 0 {
+		t.Fatalf("capability-aware predictor stalled: %+v", out)
+	}
+}
+
+func TestPCCStallStacksWithMispredict(t *testing.T) {
+	p := New()
+	out := p.Resolve(0x1000, Indirect, true, 0xaaaa, true) // cold: mispredict
+	if out.StallCycles != MispredictPenalty+PCCStallPenalty {
+		t.Errorf("stall = %d, want %d", out.StallCycles, MispredictPenalty+PCCStallPenalty)
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	s := Stats{Branches: 200, Mispredicts: 5}
+	if got := s.MispredictRate(); got != 0.025 {
+		t.Errorf("rate = %f", got)
+	}
+	if (Stats{}).MispredictRate() != 0 {
+		t.Error("zero-branch rate not zero")
+	}
+}

@@ -1,0 +1,175 @@
+// Package cache implements the set-associative cache models of the Morello
+// memory hierarchy. Each core of the simulated SoC has a 64 KiB 4-way L1
+// instruction cache, a 64 KiB 4-way L1 data cache and a 1 MiB 8-way unified
+// L2; the four cores share a 1 MiB system-level cache (LLC). All use
+// 64-byte lines with LRU replacement and write-back/write-allocate policy,
+// matching the Neoverse N1 configuration described in the paper (§2.2).
+package cache
+
+import "fmt"
+
+// Config describes one cache's geometry and timing.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineSize   int
+	Ways       int
+	HitLatency uint64 // cycles to return a hit
+}
+
+// Standard Morello cache geometries.
+var (
+	L1IConfig = Config{Name: "L1I", SizeBytes: 64 << 10, LineSize: 64, Ways: 4, HitLatency: 1}
+	L1DConfig = Config{Name: "L1D", SizeBytes: 64 << 10, LineSize: 64, Ways: 4, HitLatency: 4}
+	L2Config  = Config{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 8, HitLatency: 11}
+	LLCConfig = Config{Name: "LLC", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 30}
+)
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set sequence number; larger = more recently used.
+	lru uint64
+}
+
+// Stats are the per-cache event counts exposed to the PMU.
+type Stats struct {
+	Accesses   uint64 // total lookups (PMU xx_CACHE)
+	Refills    uint64 // misses that allocated a line (PMU xx_CACHE_REFILL)
+	WriteBacks uint64 // dirty evictions
+	ReadAcc    uint64
+	ReadMiss   uint64
+	WriteAcc   uint64
+	WriteMiss  uint64
+}
+
+// Cache is a single-level set-associative cache. It tracks line presence
+// only (the simulator keeps data in mem.Memory); that is sufficient for
+// timing and PMU behaviour.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	numSets int
+	lineSz  uint64
+	seq     uint64
+	Stats   Stats
+}
+
+// New builds a cache from its configuration.
+func New(cfg Config) *Cache {
+	numSets := cfg.SizeBytes / (cfg.LineSize * cfg.Ways)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, numSets))
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets, lineSz: uint64(cfg.LineSize)}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / c.lineSz
+	return int(lineAddr % uint64(c.numSets)), lineAddr / uint64(c.numSets)
+}
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	Hit bool
+	// WriteBack is set when the allocation evicted a dirty line; the
+	// victim's address is reconstructed for downstream traffic.
+	WriteBack     bool
+	WriteBackAddr uint64
+}
+
+// Access looks up addr; on a miss it allocates (write-allocate) and reports
+// any dirty eviction. write marks the line dirty on stores.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.Stats.Accesses++
+	if write {
+		c.Stats.WriteAcc++
+	} else {
+		c.Stats.ReadAcc++
+	}
+	set, tag := c.index(addr)
+	c.seq++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lru = c.seq
+			if write {
+				l.dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	// Miss: allocate into the LRU way.
+	c.Stats.Refills++
+	if write {
+		c.Stats.WriteMiss++
+	} else {
+		c.Stats.ReadMiss++
+	}
+	victim := 0
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.lru < c.sets[set][victim].lru {
+			victim = i
+		}
+	}
+	v := &c.sets[set][victim]
+	res := Result{}
+	if v.valid && v.dirty {
+		c.Stats.WriteBacks++
+		res.WriteBack = true
+		res.WriteBackAddr = (v.tag*uint64(c.numSets) + uint64(set)) * c.lineSz
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.seq}
+	return res
+}
+
+// Probe reports whether addr is present without touching LRU state or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (context-switch / flush modelling).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// MissRate returns Refills/Accesses (the paper's cache MR metric).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Refills) / float64(s.Accesses)
+}
+
+// ReadMissRate returns ReadMiss/ReadAcc (the paper's LLC Read MR metric).
+func (s Stats) ReadMissRate() float64 {
+	if s.ReadAcc == 0 {
+		return 0
+	}
+	return float64(s.ReadMiss) / float64(s.ReadAcc)
+}

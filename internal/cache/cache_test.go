@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets × 2 ways × 64B lines = 512 bytes, easy to reason about.
+	return New(Config{Name: "t", SizeBytes: 512, LineSize: 64, Ways: 2, HitLatency: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if r := c.Access(0x103f, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	if r := c.Access(0x1040, false); r.Hit {
+		t.Fatal("next-line access hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Three lines mapping to the same set (stride = sets*line = 256).
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) || !c.Probe(d) {
+		t.Fatal("wrong line evicted")
+	}
+	if c.Probe(b) {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	c := small()
+	c.Access(0x0000, true) // dirty
+	c.Access(0x0100, false)
+	res := c.Access(0x0200, false) // evicts dirty 0x0000
+	if !res.WriteBack {
+		t.Fatal("dirty eviction produced no write-back")
+	}
+	if res.WriteBackAddr != 0x0000 {
+		t.Errorf("write-back addr = %#x, want 0", res.WriteBackAddr)
+	}
+	if c.Stats.WriteBacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.WriteBacks)
+	}
+}
+
+func TestCleanEvictionNoWriteBack(t *testing.T) {
+	c := small()
+	c.Access(0x0000, false)
+	c.Access(0x0100, false)
+	if res := c.Access(0x0200, false); res.WriteBack {
+		t.Fatal("clean eviction produced a write-back")
+	}
+}
+
+func TestStatsInvariants(t *testing.T) {
+	// Property: refills <= accesses; read+write accesses == accesses.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(L1DConfig)
+		for i := 0; i < 2000; i++ {
+			c.Access(rng.Uint64()%(1<<20), rng.Intn(2) == 0)
+		}
+		s := c.Stats
+		return s.Refills <= s.Accesses &&
+			s.ReadAcc+s.WriteAcc == s.Accesses &&
+			s.ReadMiss+s.WriteMiss == s.Refills &&
+			s.WriteBacks <= s.Refills
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := New(L1DConfig) // 64 KiB
+	// Touch 32 KiB twice; the second pass must be all hits.
+	for addr := uint64(0); addr < 32<<10; addr += 64 {
+		c.Access(addr, false)
+	}
+	before := c.Stats.Refills
+	for addr := uint64(0); addr < 32<<10; addr += 64 {
+		if r := c.Access(addr, false); !r.Hit {
+			t.Fatalf("capacity miss at %#x for in-cache working set", addr)
+		}
+	}
+	if c.Stats.Refills != before {
+		t.Fatal("refills counted on hits")
+	}
+}
+
+func TestWorkingSetExceedsCapacityThrashes(t *testing.T) {
+	c := New(L1DConfig)
+	// Stream 1 MiB repeatedly: with LRU and a 64 KiB cache every access misses.
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 1<<20; addr += 64 {
+			c.Access(addr, false)
+		}
+	}
+	if mr := c.Stats.MissRate(); mr < 0.99 {
+		t.Errorf("streaming over-capacity miss rate = %.3f, want ~1", mr)
+	}
+}
+
+func TestMorelloGeometries(t *testing.T) {
+	for _, cfg := range []Config{L1IConfig, L1DConfig, L2Config, LLCConfig} {
+		c := New(cfg)
+		sets := cfg.SizeBytes / (cfg.LineSize * cfg.Ways)
+		if c.numSets != sets {
+			t.Errorf("%s: sets = %d want %d", cfg.Name, c.numSets, sets)
+		}
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	c.InvalidateAll()
+	if c.Probe(0x40) {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestMissRateZeroDivision(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.ReadMissRate() != 0 {
+		t.Fatal("zero-access miss rate not zero")
+	}
+}

@@ -1,0 +1,314 @@
+// Package cap implements the CHERI capability model used throughout the
+// simulator: 128-bit Morello-style capabilities with CHERI Concentrate
+// compressed bounds, permissions, object types and the out-of-band validity
+// tag. All capability manipulation in the simulated machine goes through
+// this package, so monotonicity (bounds and permissions never grow) is
+// enforced in one place.
+package cap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Capability is an in-register (decompressed) CHERI capability. The zero
+// value is the NULL capability: untagged, zero address, empty bounds.
+//
+// Capability values are immutable in style: mutating operations return a new
+// Capability (possibly with the tag cleared) rather than modifying in place,
+// mirroring how capability instructions produce new register values.
+type Capability struct {
+	addr  uint64
+	bnd   bounds
+	perms Perms
+	otype uint32
+	tag   bool
+	// fullSpace marks the bounds as covering [0, 2^64] (root capabilities).
+	// Kept implicit in bnd.topHi; field exists only for documentation.
+}
+
+// Object-type values. OTypeUnsealed marks an ordinary (unsealed)
+// capability; sealed capabilities carry a nonzero type and are immutable
+// and non-dereferenceable until unsealed.
+const (
+	OTypeUnsealed  uint32 = 0
+	OTypeSentry    uint32 = 1 // sealed entry: unsealed automatically by branch
+	otypeUserBase  uint32 = 4
+	otypeFieldMask uint32 = 1<<15 - 1
+)
+
+// Errors returned by capability operations and by the memory system when a
+// hardware check fails. These correspond to the Morello capability fault
+// classes ("in-address-space security exceptions" in the paper's Appendix).
+var (
+	ErrTagViolation    = errors.New("cap: tag violation (untagged capability dereferenced)")
+	ErrBoundsViolation = errors.New("cap: bounds violation")
+	ErrPermViolation   = errors.New("cap: permission violation")
+	ErrSealViolation   = errors.New("cap: seal violation (sealed capability used)")
+	ErrUnrepresentable = errors.New("cap: bounds not representable")
+)
+
+// Root returns the maximally-permissive root capability covering the entire
+// 64-bit address space, as installed by the firmware into DDC/PCC at reset.
+func Root() Capability {
+	_, bnd, _ := encodeBounds(0, 0, true)
+	return Capability{bnd: bnd, perms: PermsAll, tag: true}
+}
+
+// New derives a tagged capability for [base, base+length) with the given
+// permissions from the root. Bounds are rounded as required by CHERI
+// Concentrate; use Exact afterwards to detect rounding. New is a test and
+// bootstrap convenience: simulated software derives capabilities from DDC
+// via SetBounds instead.
+func New(base, length uint64, perms Perms) Capability {
+	c, _ := Root().SetBounds(base, length)
+	c = c.WithAddress(base)
+	c.perms = perms
+	return c
+}
+
+// Valid reports whether the capability's tag is set.
+func (c Capability) Valid() bool { return c.tag }
+
+// Sealed reports whether the capability carries a nonzero object type.
+func (c Capability) Sealed() bool { return c.otype != OTypeUnsealed }
+
+// Address returns the capability's current address (cursor).
+func (c Capability) Address() uint64 { return c.addr }
+
+// Base returns the lower bound.
+func (c Capability) Base() uint64 { return c.bnd.base }
+
+// Top returns the upper bound, saturated to 2^64-1 for the full-space
+// capability (use TopIsFull to distinguish).
+func (c Capability) Top() uint64 {
+	if c.bnd.topHi {
+		return ^uint64(0)
+	}
+	return c.bnd.top
+}
+
+// TopIsFull reports whether the upper bound is exactly 2^64.
+func (c Capability) TopIsFull() bool { return c.bnd.topHi }
+
+// Length returns Top - Base (saturated for the full-space capability).
+func (c Capability) Length() uint64 { return c.bnd.length() }
+
+// Perms returns the permission set.
+func (c Capability) Perms() Perms { return c.perms }
+
+// OType returns the object type (OTypeUnsealed for ordinary capabilities).
+func (c Capability) OType() uint32 { return c.otype }
+
+// InBounds reports whether an access of size bytes at addr is within bounds.
+func (c Capability) InBounds(addr, size uint64) bool { return c.bnd.contains(addr, size) }
+
+// WithAddress returns c with its address set to addr. Following the Morello
+// semantics of SCVALUE, if the new address is so far outside the bounds'
+// representable window that the compressed bounds would decode differently,
+// the tag is cleared rather than the bounds corrupted.
+func (c Capability) WithAddress(addr uint64) Capability {
+	out := c
+	out.addr = addr
+	if !c.tag {
+		return out
+	}
+	// Re-derive: if re-encoding the same bounds at the new address is
+	// impossible, the capability becomes unrepresentable and loses its tag.
+	if !representableAt(c.bnd, addr) {
+		out.tag = false
+	}
+	return out
+}
+
+// representableAt reports whether bounds b still decode identically when the
+// capability's address moves to addr. Small (E=0) regions are always safe;
+// larger regions have a representable window around the bounds.
+func representableAt(b bounds, addr uint64) bool {
+	eb, dec, _ := encodeBounds(b.base, b.length(), b.topHi && b.base == 0)
+	if dec != b {
+		// Bounds originated from a decode; recover fields by re-deriving
+		// from the bounds themselves (conservative).
+		return b.contains(addr, 0) || withinSlack(b, addr)
+	}
+	got := decodeBounds(eb, addr)
+	return got == b
+}
+
+// withinSlack implements the representable-window slack of one-quarter of
+// the region size on either side (the R = B - 2^(MW-2) rule).
+func withinSlack(b bounds, addr uint64) bool {
+	l := b.length()
+	slack := l / 4
+	lo := b.base - slack
+	if lo > b.base { // underflow
+		lo = 0
+	}
+	hi := b.top + slack
+	if b.topHi || hi < b.top {
+		return addr >= lo
+	}
+	return addr >= lo && addr < hi
+}
+
+// Offset returns the address relative to base.
+func (c Capability) Offset() uint64 { return c.addr - c.bnd.base }
+
+// Add returns c with its address advanced by delta (pointer arithmetic).
+func (c Capability) Add(delta int64) Capability {
+	return c.WithAddress(c.addr + uint64(delta))
+}
+
+// SetBounds narrows the capability to [base, base+length). It fails if the
+// requested region is not contained in the current bounds (monotonicity) or
+// if the capability is untagged or sealed. If the requested bounds are not
+// exactly representable they are rounded outward, still within the original
+// bounds check semantics of Morello's SCBNDS (which checks the requested,
+// not rounded, region).
+func (c Capability) SetBounds(base, length uint64) (Capability, error) {
+	if !c.tag {
+		return c.clearTag(), ErrTagViolation
+	}
+	if c.Sealed() {
+		return c.clearTag(), ErrSealViolation
+	}
+	if !c.bnd.contains(base, length) {
+		return c.clearTag(), ErrBoundsViolation
+	}
+	_, dec, _ := encodeBounds(base, length, false)
+	out := c
+	out.bnd = dec
+	out.addr = base
+	return out, nil
+}
+
+// SetBoundsExact is SetBounds but fails with ErrUnrepresentable when the
+// requested bounds would be rounded.
+func (c Capability) SetBoundsExact(base, length uint64) (Capability, error) {
+	if !c.tag {
+		return c.clearTag(), ErrTagViolation
+	}
+	if c.Sealed() {
+		return c.clearTag(), ErrSealViolation
+	}
+	if !c.bnd.contains(base, length) {
+		return c.clearTag(), ErrBoundsViolation
+	}
+	_, dec, exact := encodeBounds(base, length, false)
+	if !exact {
+		return c.clearTag(), ErrUnrepresentable
+	}
+	out := c
+	out.bnd = dec
+	out.addr = base
+	return out, nil
+}
+
+// ClearPerms returns c with the given permissions removed (CLRPERM).
+func (c Capability) ClearPerms(p Perms) Capability {
+	out := c
+	out.perms &^= p
+	return out
+}
+
+// ClearTag returns c with its tag cleared (an explicit CLRTAG, or the result
+// of a non-capability store overlapping this capability in memory).
+func (c Capability) ClearTag() Capability { return c.clearTag() }
+
+func (c Capability) clearTag() Capability {
+	out := c
+	out.tag = false
+	return out
+}
+
+// Seal returns c sealed with the object type held in the address of sealer,
+// which must carry PermSeal and have the otype in bounds.
+func (c Capability) Seal(sealer Capability) (Capability, error) {
+	if !c.tag || !sealer.tag {
+		return c.clearTag(), ErrTagViolation
+	}
+	if c.Sealed() || sealer.Sealed() {
+		return c.clearTag(), ErrSealViolation
+	}
+	if !sealer.perms.Has(PermSeal) {
+		return c.clearTag(), ErrPermViolation
+	}
+	ot := uint32(sealer.addr) & otypeFieldMask
+	if ot == OTypeUnsealed || !sealer.InBounds(sealer.addr, 1) {
+		return c.clearTag(), ErrBoundsViolation
+	}
+	out := c
+	out.otype = ot
+	return out, nil
+}
+
+// Unseal returns c unsealed using unsealer, which must carry PermUnseal and
+// address the same object type.
+func (c Capability) Unseal(unsealer Capability) (Capability, error) {
+	if !c.tag || !unsealer.tag {
+		return c.clearTag(), ErrTagViolation
+	}
+	if !c.Sealed() || unsealer.Sealed() {
+		return c.clearTag(), ErrSealViolation
+	}
+	if !unsealer.perms.Has(PermUnseal) {
+		return c.clearTag(), ErrPermViolation
+	}
+	if uint32(unsealer.addr)&otypeFieldMask != c.otype || !unsealer.InBounds(unsealer.addr, 1) {
+		return c.clearTag(), ErrPermViolation
+	}
+	out := c
+	out.otype = OTypeUnsealed
+	return out, nil
+}
+
+// SealEntry returns c sealed as a sentry (sealed entry) capability, the form
+// used for function pointers under the purecap ABI.
+func (c Capability) SealEntry() (Capability, error) {
+	if !c.tag {
+		return c.clearTag(), ErrTagViolation
+	}
+	if c.Sealed() {
+		return c.clearTag(), ErrSealViolation
+	}
+	out := c
+	out.otype = OTypeSentry
+	return out, nil
+}
+
+// CheckAccess validates a memory access of size bytes at the capability's
+// current address requiring permissions need. It returns the specific
+// capability fault on failure; the memory system turns this into a
+// simulated in-address-space security exception.
+func (c Capability) CheckAccess(size uint64, need Perms) error {
+	if !c.tag {
+		return ErrTagViolation
+	}
+	if c.Sealed() {
+		return ErrSealViolation
+	}
+	if !c.perms.Has(need) {
+		return ErrPermViolation
+	}
+	if !c.bnd.contains(c.addr, size) {
+		return ErrBoundsViolation
+	}
+	return nil
+}
+
+// String renders the capability in the CheriBSD debugger style.
+func (c Capability) String() string {
+	t := 'v'
+	if !c.tag {
+		t = 'i'
+	}
+	sealed := ""
+	if c.Sealed() {
+		sealed = fmt.Sprintf(" sealed(%d)", c.otype)
+	}
+	topStr := fmt.Sprintf("%#x", c.Top())
+	if c.bnd.topHi {
+		topStr = "2^64"
+	}
+	return fmt.Sprintf("%c:%#x [%#x,%s] %s%s", t, c.addr, c.bnd.base, topStr, c.perms, sealed)
+}

@@ -1,0 +1,256 @@
+package cap
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNullCapability(t *testing.T) {
+	var null Capability
+	if null.Valid() {
+		t.Error("zero value must be untagged")
+	}
+	if null.Address() != 0 || null.Base() != 0 {
+		t.Error("null capability has nonzero fields")
+	}
+	if err := null.CheckAccess(1, PermLoad); !errors.Is(err, ErrTagViolation) {
+		t.Errorf("deref of null = %v, want tag violation", err)
+	}
+}
+
+func TestRootCoversEverything(t *testing.T) {
+	r := Root()
+	if !r.Valid() || !r.TopIsFull() || r.Base() != 0 {
+		t.Fatalf("root malformed: %v", r)
+	}
+	if !r.Perms().Has(PermsAll) {
+		t.Error("root missing permissions")
+	}
+	if err := r.CheckAccess(8, PermLoad|PermStore); err != nil {
+		t.Errorf("root access failed: %v", err)
+	}
+}
+
+func TestSetBoundsMonotonic(t *testing.T) {
+	r := Root()
+	c, err := r.SetBounds(0x10000, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base() != 0x10000 || c.Top() != 0x11000 {
+		t.Fatalf("bounds = [%#x,%#x)", c.Base(), c.Top())
+	}
+	// Narrowing further is fine.
+	d, err := c.SetBounds(0x10100, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Base() != 0x10100 || d.Length() != 0x100 {
+		t.Fatalf("narrowed bounds wrong: %v", d)
+	}
+	// Widening must fail and detag.
+	bad, err := c.SetBounds(0x0f000, 0x10000)
+	if !errors.Is(err, ErrBoundsViolation) {
+		t.Fatalf("widening err = %v", err)
+	}
+	if bad.Valid() {
+		t.Error("widened capability kept its tag")
+	}
+}
+
+func TestSetBoundsExactRejectsRounding(t *testing.T) {
+	r := Root()
+	// A large region at an odd base is not exactly representable.
+	base := uint64(0x1000_0001)
+	length := uint64(1 << 24)
+	if _, err := r.SetBoundsExact(base, length); !errors.Is(err, ErrUnrepresentable) {
+		t.Fatalf("expected unrepresentable, got %v", err)
+	}
+	// Aligned per CRAM it must succeed.
+	mask := RepresentableAlignmentMask(length)
+	abase := base & mask
+	alen := RepresentableLength(length)
+	if _, err := r.SetBoundsExact(abase, alen); err != nil {
+		t.Fatalf("aligned exact bounds failed: %v", err)
+	}
+}
+
+func TestWithAddressInBounds(t *testing.T) {
+	c := New(0x10000, 0x1000, PermsData)
+	d := c.WithAddress(0x10800)
+	if !d.Valid() || d.Address() != 0x10800 {
+		t.Fatalf("in-bounds address move broke capability: %v", d)
+	}
+	if d.Base() != c.Base() || d.Top() != c.Top() {
+		t.Error("bounds changed on address move")
+	}
+}
+
+func TestWithAddressFarOutClearsTag(t *testing.T) {
+	// Large region: moving the cursor far outside the representable window
+	// must clear the tag (Morello SCVALUE semantics).
+	c := New(0x4000_0000, 1<<26, PermsData)
+	far := c.WithAddress(0x4000_0000 + 1<<40)
+	if far.Valid() {
+		t.Errorf("far out-of-window address kept tag: %v", far)
+	}
+}
+
+func TestClearPerms(t *testing.T) {
+	c := New(0, 0x1000, PermsData)
+	d := c.ClearPerms(PermStore | PermStoreCap)
+	if d.Perms().Has(PermStore) || d.Perms().Has(PermStoreCap) {
+		t.Error("permissions not cleared")
+	}
+	if !d.Perms().Has(PermLoad) {
+		t.Error("unrelated permission lost")
+	}
+	if err := d.CheckAccess(8, PermStore); !errors.Is(err, ErrPermViolation) {
+		t.Errorf("store via read-only cap = %v", err)
+	}
+}
+
+func TestSealUnseal(t *testing.T) {
+	data := New(0x2000, 0x100, PermsData)
+	sealer := New(0, 0x1000, PermsAll).WithAddress(42)
+	sealed, err := data.Seal(sealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sealed.Sealed() || sealed.OType() != 42 {
+		t.Fatalf("seal failed: %v", sealed)
+	}
+	if err := sealed.CheckAccess(8, PermLoad); !errors.Is(err, ErrSealViolation) {
+		t.Errorf("sealed deref = %v", err)
+	}
+	un, err := sealed.Unseal(sealer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Sealed() {
+		t.Error("unseal left capability sealed")
+	}
+	// Unseal with the wrong otype fails.
+	wrong := sealer.WithAddress(43)
+	if _, err := sealed.Unseal(wrong); !errors.Is(err, ErrPermViolation) {
+		t.Errorf("wrong-otype unseal = %v", err)
+	}
+}
+
+func TestSealEntry(t *testing.T) {
+	fn := New(0x40000, 0x400, PermsCode)
+	s, err := fn.SealEntry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OType() != OTypeSentry {
+		t.Errorf("otype = %d, want sentry", s.OType())
+	}
+}
+
+func TestCheckAccessFaultClasses(t *testing.T) {
+	c := New(0x1000, 0x100, PermLoad)
+	cases := []struct {
+		name string
+		c    Capability
+		size uint64
+		need Perms
+		want error
+	}{
+		{"ok", c, 8, PermLoad, nil},
+		{"untagged", c.ClearTag(), 8, PermLoad, ErrTagViolation},
+		{"perm", c, 8, PermStore, ErrPermViolation},
+		{"oob", c.WithAddress(0x10f9), 8, PermLoad, ErrBoundsViolation},
+		{"end-straddle", c.WithAddress(0x10fc), 8, PermLoad, ErrBoundsViolation},
+	}
+	for _, tc := range cases {
+		err := tc.c.CheckAccess(tc.size, tc.need)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(baseSeed, lenSeed uint64, permSeed uint32) bool {
+		base := baseSeed % (1 << 48)
+		length := lenSeed % (1 << 40)
+		perms := Perms(permSeed) & PermsAll
+		c := New(base, length, perms)
+		enc, tag := c.Encode()
+		d := Decode(enc, tag)
+		return d.Valid() == c.Valid() &&
+			d.Address() == c.Address() &&
+			d.Base() == c.Base() &&
+			d.Top() == c.Top() &&
+			d.Perms() == c.Perms() &&
+			d.OType() == c.OType()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRootRoundTrip(t *testing.T) {
+	r := Root()
+	enc, tag := r.Encode()
+	d := Decode(enc, tag)
+	if !d.TopIsFull() || d.Base() != 0 || !d.Valid() {
+		t.Fatalf("root round trip lost full bounds: %v", d)
+	}
+}
+
+func TestAddPointerArithmetic(t *testing.T) {
+	c := New(0x1000, 0x1000, PermsData)
+	d := c.Add(16).Add(-8)
+	if d.Address() != 0x1008 {
+		t.Errorf("address = %#x, want 0x1008", d.Address())
+	}
+	if !d.Valid() {
+		t.Error("in-bounds arithmetic cleared tag")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := New(0x1000, 0x100, PermLoad|PermStore)
+	s := c.String()
+	if !strings.Contains(s, "0x1000") || !strings.HasPrefix(s, "v:") {
+		t.Errorf("unexpected format: %q", s)
+	}
+	i := c.ClearTag().String()
+	if !strings.HasPrefix(i, "i:") {
+		t.Errorf("invalid cap format: %q", i)
+	}
+}
+
+func TestNewRandomRegionsContainRequested(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		base := rng.Uint64() % (1 << 47)
+		length := rng.Uint64() % (1 << 30)
+		c := New(base, length, PermsData)
+		if !c.InBounds(base, length) {
+			t.Fatalf("New(%#x,%#x) bounds [%#x,%#x) do not contain request",
+				base, length, c.Base(), c.Top())
+		}
+		if c.Address() != base {
+			t.Fatalf("address = %#x, want base %#x", c.Address(), base)
+		}
+	}
+}
+
+func TestPermsString(t *testing.T) {
+	if PermLoad.String() != "R" {
+		t.Errorf("PermLoad = %q", PermLoad.String())
+	}
+	if Perms(0).String() != "-" {
+		t.Errorf("empty perms = %q", Perms(0).String())
+	}
+	combined := (PermLoad | PermStore).String()
+	if !strings.Contains(combined, "R") || !strings.Contains(combined, "W") {
+		t.Errorf("combined perms = %q", combined)
+	}
+}

@@ -1,0 +1,271 @@
+package cap
+
+import "math/bits"
+
+// This file implements CHERI Concentrate bounds compression as used by the
+// 128-bit Morello capability format (Woodruff et al., "CHERI Concentrate:
+// Practical Compressed Capabilities", IEEE TC 2019; CHERI ISA v9 §3).
+//
+// A capability's bounds are stored as a pair of mantissas, T (top) and
+// B (bottom), relative to the capability's 64-bit address, together with an
+// exponent E. When E is zero and the region is small, bounds are exact; for
+// larger regions the low bits of T and B are repurposed to store E and both
+// bounds must be multiples of 2^(E+3), which is why purecap allocators must
+// round allocation sizes and alignments (see internal/alloc).
+
+const (
+	// mantissaWidth (MW) is the width in bits of the B field; T stores
+	// mantissaWidth-2 bits with its top two bits reconstructed on decode.
+	mantissaWidth = 14
+	// ieFieldWidth is the number of low bits of each of T and B used to
+	// hold the exponent when the internal-exponent (I_E) bit is set.
+	ieFieldWidth = 3
+	// expWidth is the total stored exponent width.
+	expWidth = 2 * ieFieldWidth
+	// maxExponent is the largest usable exponent; at resetExponent the
+	// capability covers the full 64-bit address space.
+	maxExponent   = 50
+	resetExponent = 52
+)
+
+// bounds is the decompressed form of a capability's bounds field. top is a
+// 65-bit quantity represented as (topHi, top): topHi is set only for the
+// full-address-space capability whose top is exactly 2^64.
+type bounds struct {
+	base  uint64
+	top   uint64
+	topHi bool
+}
+
+// length returns the region length. The full 2^64-byte region saturates to
+// the maximum uint64.
+func (b bounds) length() uint64 {
+	if b.topHi {
+		if b.base == 0 {
+			return ^uint64(0) // 2^64 saturated
+		}
+		return -b.base // 2^64 - base
+	}
+	if b.top < b.base {
+		return 0
+	}
+	return b.top - b.base
+}
+
+// contains reports whether [addr, addr+size) lies within the bounds.
+func (b bounds) contains(addr, size uint64) bool {
+	if addr < b.base {
+		return false
+	}
+	end := addr + size
+	if end < addr { // wrapped past 2^64; legal only when ending exactly there
+		return b.topHi && end == 0
+	}
+	if b.topHi {
+		return true
+	}
+	return end <= b.top
+}
+
+// encBounds is the compressed (stored) form: the raw T, B and I_E fields as
+// they appear in the capability's metadata word.
+type encBounds struct {
+	ie bool
+	t  uint16 // mantissaWidth-2 bits stored
+	b  uint16 // mantissaWidth bits stored
+}
+
+// exponent extracts the exponent encoded in the low bits of T and B when the
+// internal-exponent bit is set.
+func (e encBounds) exponent() uint {
+	if !e.ie {
+		return 0
+	}
+	return uint(e.t&(1<<ieFieldWidth-1))<<ieFieldWidth | uint(e.b&(1<<ieFieldWidth-1))
+}
+
+// computeE returns the exponent required to represent a region of the given
+// length: the smallest E such that length's significant bits fit in
+// mantissaWidth-1 bits once the bottom E bits are discarded.
+func computeE(length uint64) uint {
+	// E = 52 - CLZ(length[64:mantissaWidth-1]); for a 64-bit length the
+	// top "65th" bit is zero so this reduces to the expression below.
+	hi := length >> (mantissaWidth - 1)
+	if hi == 0 {
+		return 0
+	}
+	return uint(64 - bits.LeadingZeros64(hi) + mantissaWidth - 1 - mantissaWidth + 1)
+	// i.e. bitlen(length) - (mantissaWidth - 1)
+}
+
+// encodeBounds compresses [base, base+length) (length may be 1<<64 when
+// fullSpace is set) into CHERI Concentrate form. It returns the encoded
+// fields, the decompressed bounds that the encoding actually represents
+// (after any rounding), and whether the requested bounds were exactly
+// representable.
+func encodeBounds(base, length uint64, fullSpace bool) (encBounds, bounds, bool) {
+	if fullSpace {
+		// The reset/root capability: E = resetExponent, covering [0, 2^64].
+		eb := encBounds{ie: true, t: uint16(resetExponent >> ieFieldWidth), b: uint16(resetExponent & (1<<ieFieldWidth - 1))}
+		return eb, bounds{base: 0, top: 0, topHi: true}, base == 0
+	}
+
+	e := computeE(length)
+	ie := e != 0 || (length>>(mantissaWidth-2))&1 != 0
+
+	if !ie {
+		// Exact small-object encoding: E = 0, all mantissa bits stored.
+		b := base & (1<<mantissaWidth - 1)
+		top := base + length
+		t := top & (1<<(mantissaWidth-2) - 1)
+		eb := encBounds{ie: false, t: uint16(t), b: uint16(b)}
+		dec := decodeBounds(eb, base)
+		return eb, dec, dec.base == base && !dec.topHi && dec.top == base+length
+	}
+
+	// Internal exponent: low ieFieldWidth bits of T and B hold E, so bounds
+	// are rounded to multiples of 2^(E+ieFieldWidth). Rounding the top up
+	// may carry into a higher bit and force E to grow by one.
+	for {
+		if e > maxExponent {
+			e = resetExponent
+			eb := encBounds{ie: true, t: uint16(e >> ieFieldWidth), b: uint16(e & (1<<ieFieldWidth - 1))}
+			return eb, bounds{topHi: true}, false
+		}
+		align := uint64(1) << (e + ieFieldWidth)
+		rbase := base &^ (align - 1)
+		rtopV := base + length
+		carryTop := false
+		if r := rtopV & (align - 1); r != 0 {
+			rtopV += align - r
+			if rtopV < align { // wrapped past 2^64
+				carryTop = true
+			}
+		}
+		var rlen uint64
+		if carryTop {
+			rlen = ^uint64(0)
+		} else {
+			rlen = rtopV - rbase
+		}
+		// Verify the rounded length still fits at this exponent; the top
+		// mantissa stores mantissaWidth-2 significant bits plus an implied
+		// leading 1, so the length must be < 2^(mantissaWidth-1+e).
+		if carryTop || rlen>>(e+mantissaWidth-1) != 0 {
+			e++
+			continue
+		}
+		bField := uint16(rbase>>e) & (1<<mantissaWidth - 1)
+		tField := uint16(rtopV>>e) & (1<<(mantissaWidth-2) - 1)
+		// Stuff the exponent into the low bits.
+		bField = bField&^(1<<ieFieldWidth-1) | uint16(e&(1<<ieFieldWidth-1))
+		tField = tField&^(1<<ieFieldWidth-1) | uint16((e>>ieFieldWidth)&(1<<ieFieldWidth-1))
+		eb := encBounds{ie: true, t: tField, b: bField}
+		dec := decodeBounds(eb, base)
+		exact := dec.base == base && !dec.topHi && dec.top == base+length
+		if !dec.contains(base, 0) || dec.base != rbase {
+			// The requested address fell outside the representable window
+			// at this exponent (can happen near region edges); widen.
+			e++
+			continue
+		}
+		return eb, dec, exact
+	}
+}
+
+// decodeBounds reconstructs the full bounds from the stored fields and the
+// capability's current address, applying the CHERI Concentrate correction
+// terms that disambiguate which 2^(E+MW)-sized window the bounds live in.
+func decodeBounds(eb encBounds, addr uint64) bounds {
+	e := eb.exponent()
+	if eb.ie && e >= resetExponent {
+		return bounds{topHi: true}
+	}
+	tVal := uint64(eb.t)
+	bVal := uint64(eb.b)
+	if eb.ie {
+		tVal &^= 1<<ieFieldWidth - 1
+		bVal &^= 1<<ieFieldWidth - 1
+	}
+	// Reconstruct the top two bits of T: T[MW-1:MW-2] = B[MW-1:MW-2] + Lcarry + Lmsb.
+	lcarry := uint64(0)
+	if tVal < bVal&(1<<(mantissaWidth-2)-1) {
+		lcarry = 1
+	}
+	lmsb := uint64(0)
+	if eb.ie {
+		lmsb = 1
+	}
+	tHigh := (bVal>>(mantissaWidth-2) + lcarry + lmsb) & 3
+	tVal |= tHigh << (mantissaWidth - 2)
+
+	if e > maxExponent {
+		e = maxExponent
+	}
+	aMid := (addr >> e) & (1<<mantissaWidth - 1)
+	// Representable-space boundary R = B - 2^(MW-2) (mod 2^MW).
+	r := (bVal - 1<<(mantissaWidth-2)) & (1<<mantissaWidth - 1)
+	corr := func(x uint64) int64 {
+		xLt := x < r
+		aLt := aMid < r
+		switch {
+		case xLt == aLt:
+			return 0
+		case aLt && !xLt:
+			return -1
+		default:
+			return 1
+		}
+	}
+	aTop := addr >> (e + mantissaWidth) // high bits beyond the mantissa window
+	shift := e + mantissaWidth
+
+	baseHigh := uint64(int64(aTop) + corr(bVal))
+	base := baseHigh<<shift | bVal<<e
+
+	topHigh := int64(aTop) + corr(tVal)
+	var top uint64
+	topHi := false
+	if shift >= 64 {
+		top = tVal << e
+		topHi = topHigh > 0
+	} else {
+		full := uint64(topHigh)<<shift | tVal<<e
+		top = full
+		// A top of exactly 2^64 appears as topHigh carrying out of 64 bits.
+		if topHigh > 0 && uint64(topHigh)>>(64-shift) != 0 {
+			topHi = true
+			top = 0
+		}
+	}
+	return bounds{base: base, top: top, topHi: topHi}
+}
+
+// RepresentableAlignmentMask returns the CRAM value for a region of the
+// given length: a mask of the low address bits that must be zero for the
+// base (and length) of a region of that size to be exactly representable.
+func RepresentableAlignmentMask(length uint64) uint64 {
+	e := computeE(length)
+	ie := e != 0 || (length>>(mantissaWidth-2))&1 != 0
+	if !ie {
+		return ^uint64(0)
+	}
+	// Rounding the length up may bump the exponent; iterate as encodeBounds does.
+	for {
+		align := uint64(1) << (e + ieFieldWidth)
+		rlen := (length + align - 1) &^ (align - 1)
+		if rlen>>(e+mantissaWidth-1) != 0 {
+			e++
+			continue
+		}
+		return ^(align - 1)
+	}
+}
+
+// RepresentableLength returns the CRRL value: the smallest representable
+// region length that is >= the requested length when the base is aligned to
+// RepresentableAlignmentMask(length).
+func RepresentableLength(length uint64) uint64 {
+	mask := RepresentableAlignmentMask(length)
+	return (length + ^mask) & mask
+}

@@ -1,0 +1,165 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeE(t *testing.T) {
+	cases := []struct {
+		length uint64
+		want   uint
+	}{
+		{0, 0},
+		{1, 0},
+		{1 << 12, 0},
+		{1<<13 - 1, 0},
+		{1 << 13, 1},
+		{1 << 14, 2},
+		{1 << 20, 8},
+		{1 << 40, 28},
+		{1 << 63, 51},
+	}
+	for _, c := range cases {
+		if got := computeE(c.length); got != c.want {
+			t.Errorf("computeE(%#x) = %d, want %d", c.length, got, c.want)
+		}
+	}
+}
+
+func TestSmallBoundsExact(t *testing.T) {
+	// Regions shorter than 2^12 with any base must encode exactly (E=0 path).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		base := rng.Uint64()
+		length := rng.Uint64() % (1 << 12)
+		eb, dec, exact := encodeBounds(base, length, false)
+		if !exact {
+			t.Fatalf("small region base=%#x len=%#x not exact", base, length)
+		}
+		if dec.base != base || dec.top != base+length {
+			t.Fatalf("small region decode mismatch: got [%#x,%#x) want [%#x,%#x)", dec.base, dec.top, base, base+length)
+		}
+		if eb.ie {
+			t.Fatalf("small region used internal exponent: len=%#x", length)
+		}
+	}
+}
+
+func TestBoundsRoundingMonotone(t *testing.T) {
+	// Property: encoded bounds always contain the requested region.
+	f := func(base uint64, length uint64) bool {
+		length %= 1 << 56 // keep top below 2^64 to avoid wrap in the oracle
+		base %= 1 << 56
+		_, dec, _ := encodeBounds(base, length, false)
+		return dec.contains(base, length)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsDecodeRoundTrip(t *testing.T) {
+	// Property: re-decoding the encoded fields at the original address
+	// reproduces the (rounded) bounds exactly.
+	f := func(base uint64, length uint64) bool {
+		length %= 1 << 56
+		base %= 1 << 56
+		eb, dec, _ := encodeBounds(base, length, false)
+		got := decodeBounds(eb, base)
+		return got == dec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepresentableLength(t *testing.T) {
+	f := func(length uint64) bool {
+		length %= 1 << 56
+		rlen := RepresentableLength(length)
+		if rlen < length {
+			return false
+		}
+		// A region of rlen bytes at an aligned base must be exact.
+		mask := RepresentableAlignmentMask(length)
+		base := uint64(0x4000_0000_0000) & mask
+		_, dec, exact := encodeBounds(base, rlen, false)
+		return exact && dec.base == base && dec.top == base+rlen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepresentableAlignmentSmall(t *testing.T) {
+	if m := RepresentableAlignmentMask(64); m != ^uint64(0) {
+		t.Errorf("small lengths need no alignment, got mask %#x", m)
+	}
+	if l := RepresentableLength(100); l != 100 {
+		t.Errorf("RepresentableLength(100) = %d, want 100", l)
+	}
+}
+
+func TestRepresentableAlignmentLarge(t *testing.T) {
+	// A 1 MiB region has E = bitlen(2^20 >> 13) = 8 (the top mantissa keeps
+	// an implied MSB), so alignment is 2^(E+3) = 2048 bytes.
+	length := uint64(1 << 20)
+	mask := RepresentableAlignmentMask(length)
+	align := ^mask + 1
+	if align != 1<<11 {
+		t.Errorf("1MiB alignment = %d, want %d", align, 1<<11)
+	}
+}
+
+func TestFullSpaceBounds(t *testing.T) {
+	eb, dec, _ := encodeBounds(0, 0, true)
+	if !dec.topHi || dec.base != 0 {
+		t.Fatalf("full-space bounds wrong: %+v", dec)
+	}
+	if !dec.contains(0, 1<<40) || !dec.contains(^uint64(0), 1) {
+		t.Fatal("full-space bounds do not contain the address space")
+	}
+	got := decodeBounds(eb, 0xdeadbeef)
+	if !got.topHi {
+		t.Fatal("full-space decode lost topHi")
+	}
+}
+
+func TestBoundsLength(t *testing.T) {
+	b := bounds{base: 100, top: 300}
+	if b.length() != 200 {
+		t.Errorf("length = %d, want 200", b.length())
+	}
+	full := bounds{topHi: true}
+	if full.length() != ^uint64(0) {
+		t.Errorf("full length = %#x", full.length())
+	}
+	half := bounds{base: 1 << 63, topHi: true}
+	if half.length() != 1<<63 {
+		t.Errorf("upper-half length = %#x, want %#x", half.length(), uint64(1)<<63)
+	}
+}
+
+func TestContainsEdges(t *testing.T) {
+	b := bounds{base: 0x1000, top: 0x2000}
+	cases := []struct {
+		addr, size uint64
+		want       bool
+	}{
+		{0x1000, 0, true},
+		{0x1000, 0x1000, true},
+		{0x0fff, 1, false},
+		{0x1fff, 1, true},
+		{0x1fff, 2, false},
+		{0x2000, 0, true}, // zero-size at top is in bounds
+		{0x2000, 1, false},
+		{^uint64(0), 2, false}, // wrap
+	}
+	for _, c := range cases {
+		if got := b.contains(c.addr, c.size); got != c.want {
+			t.Errorf("contains(%#x,%d) = %v, want %v", c.addr, c.size, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package cap
+
+// In-memory (compressed) capability format. A capability occupies 16 bytes
+// of data plus one out-of-band tag bit kept by internal/mem. The layout
+// follows the Morello arrangement: the low 64 bits hold the address (value)
+// and the high 64 bits hold permissions, object type and the compressed
+// bounds.
+//
+//	meta[63:46]  perms (18 bits; we use 13)
+//	meta[45:31]  otype (15 bits)
+//	meta[30]     I_E
+//	meta[29:16]  B (14 bits)
+//	meta[15:4]   T (12 bits)
+//	meta[3:0]    reserved (zero)
+
+const (
+	permsShift = 46
+	otypeShift = 31
+	ieShift    = 30
+	bShift     = 16
+	tShift     = 4
+)
+
+// Encoded is the 128-bit in-memory representation of a capability, without
+// its tag. Meta holds the compressed metadata word, Addr the address word.
+type Encoded struct {
+	Meta uint64
+	Addr uint64
+}
+
+// Encode compresses the capability to its 16-byte memory image. The tag is
+// returned separately because it is stored out of band.
+func (c Capability) Encode() (Encoded, bool) {
+	eb, _, _ := encodeBounds(c.bnd.base, c.bnd.length(), c.bnd.topHi && c.bnd.base == 0)
+	var meta uint64
+	meta |= uint64(c.perms) << permsShift
+	meta |= uint64(c.otype&otypeFieldMask) << otypeShift
+	if eb.ie {
+		meta |= 1 << ieShift
+	}
+	meta |= uint64(eb.b&(1<<mantissaWidth-1)) << bShift
+	meta |= uint64(eb.t&(1<<(mantissaWidth-2)-1)) << tShift
+	return Encoded{Meta: meta, Addr: c.addr}, c.tag
+}
+
+// Decode reconstructs a capability from its 16-byte memory image and tag.
+func Decode(e Encoded, tag bool) Capability {
+	eb := encBounds{
+		ie: e.Meta>>ieShift&1 != 0,
+		b:  uint16(e.Meta >> bShift & (1<<mantissaWidth - 1)),
+		t:  uint16(e.Meta >> tShift & (1<<(mantissaWidth-2) - 1)),
+	}
+	return Capability{
+		addr:  e.Addr,
+		bnd:   decodeBounds(eb, e.Addr),
+		perms: Perms(e.Meta >> permsShift & (1<<numPerms - 1)),
+		otype: uint32(e.Meta >> otypeShift & uint64(otypeFieldMask)),
+		tag:   tag,
+	}
+}
+
+// Size is the in-memory size of a capability in bytes.
+const Size = 16
+
+// TagGranule is the amount of memory covered by one tag bit.
+const TagGranule = 16

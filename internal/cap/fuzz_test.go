@@ -1,0 +1,70 @@
+package cap
+
+import "testing"
+
+// FuzzBoundsEncodeDecode drives the CHERI Concentrate compressor with
+// arbitrary base/length pairs, checking the invariants that every
+// capability derivation relies on: the encoded region always contains the
+// request, the decode at the original address is a fixed point, and
+// declared-exact encodings really are exact.
+func FuzzBoundsEncodeDecode(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0x1000), uint64(4096))
+	f.Add(uint64(0xdead_beef_f00d), uint64(1<<30))
+	f.Add(uint64(1)<<47, uint64(1)<<40)
+	f.Fuzz(func(t *testing.T, base, length uint64) {
+		base %= 1 << 56
+		length %= 1 << 56
+		eb, dec, exact := encodeBounds(base, length, false)
+		if !dec.contains(base, length) {
+			t.Fatalf("bounds [%#x,%#x) lost request base=%#x len=%#x", dec.base, dec.top, base, length)
+		}
+		if exact && (dec.base != base || dec.topHi || dec.top != base+length) {
+			t.Fatalf("declared exact but rounded: [%#x,%#x) vs request", dec.base, dec.top)
+		}
+		if got := decodeBounds(eb, base); got != dec {
+			t.Fatalf("decode not a fixed point: %+v vs %+v", got, dec)
+		}
+	})
+}
+
+// FuzzCapabilityMemoryFormat round-trips arbitrary capabilities through
+// the 128-bit in-memory format.
+func FuzzCapabilityMemoryFormat(f *testing.F) {
+	f.Add(uint64(0x4000_0000), uint64(1<<16), uint32(0xffff))
+	f.Add(uint64(0), uint64(1), uint32(0))
+	f.Fuzz(func(t *testing.T, base, length uint64, permBits uint32) {
+		base %= 1 << 48
+		length %= 1 << 40
+		c := New(base, length, Perms(permBits)&PermsAll)
+		enc, tag := c.Encode()
+		d := Decode(enc, tag)
+		if d.Base() != c.Base() || d.Top() != c.Top() || d.Address() != c.Address() ||
+			d.Perms() != c.Perms() || d.Valid() != c.Valid() {
+			t.Fatalf("memory round trip corrupted:\n in: %v\nout: %v", c, d)
+		}
+	})
+}
+
+// FuzzRepresentableRounding checks the CRRL/CRAM pair: the rounded length
+// at a CRAM-aligned base must always be exactly representable, and
+// rounding must be monotone.
+func FuzzRepresentableRounding(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(4096))
+	f.Add(uint64(1<<20 + 7))
+	f.Fuzz(func(t *testing.T, length uint64) {
+		length %= 1 << 56
+		rlen := RepresentableLength(length)
+		if rlen < length {
+			t.Fatalf("CRRL(%#x) = %#x shrank", length, rlen)
+		}
+		mask := RepresentableAlignmentMask(length)
+		base := (uint64(0x7777_0000_0000) & mask)
+		_, dec, exact := encodeBounds(base, rlen, false)
+		if !exact {
+			t.Fatalf("CRAM-aligned CRRL region not exact: base=%#x len=%#x got [%#x,%#x)",
+				base, rlen, dec.base, dec.top)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package cap
+
+// Additional Morello capability instructions beyond the core
+// derive/seal/check set: comparison, subset testing and tag restoration,
+// used by capability-aware runtimes (garbage collectors, revokers,
+// swappers) that must round-trip capabilities through untagged storage.
+
+// Equal reports whether two capabilities are bit-identical including tags
+// (Morello's CMP of capability registers plus tag equality).
+func (c Capability) Equal(o Capability) bool {
+	ce, ct := c.Encode()
+	oe, ot := o.Encode()
+	return ce == oe && ct == ot && c.addr == o.addr
+}
+
+// IsSubsetOf reports whether c's authority is wholly contained in o's:
+// bounds within bounds and permissions a subset (Morello's CTESTSUBSET).
+// Tags and seals are ignored, as in hardware.
+func (c Capability) IsSubsetOf(o Capability) bool {
+	if c.bnd.base < o.bnd.base {
+		return false
+	}
+	if !o.bnd.topHi {
+		if c.bnd.topHi {
+			return false
+		}
+		if c.bnd.top > o.bnd.top {
+			return false
+		}
+	}
+	return o.perms.Has(c.perms)
+}
+
+// BuildCap reconstructs a tagged capability from untagged bits using an
+// authorising capability (Morello's CBUILDCAP): the bit pattern's bounds
+// and permissions must be a subset of the authority's, and the result
+// carries the authority's provenance. This is how capability-aware
+// runtimes restore capabilities after round-tripping them through plain
+// storage (swap, serialisation) without violating monotonicity.
+func BuildCap(authority Capability, bits Encoded) (Capability, error) {
+	if !authority.Valid() {
+		return Capability{}, ErrTagViolation
+	}
+	if authority.Sealed() {
+		return Capability{}, ErrSealViolation
+	}
+	candidate := Decode(bits, false)
+	if candidate.Sealed() {
+		// CBUILDCAP cannot conjure sealed capabilities.
+		return Capability{}, ErrSealViolation
+	}
+	if !candidate.IsSubsetOf(authority) {
+		return Capability{}, ErrBoundsViolation
+	}
+	out := candidate
+	out.tag = true
+	return out, nil
+}
+
+// ClearTagIf returns c untagged when cond holds, otherwise unchanged —
+// the conditional-clear idiom of revocation load barriers.
+func (c Capability) ClearTagIf(cond bool) Capability {
+	if cond {
+		return c.clearTag()
+	}
+	return c
+}
+
+// Increment is pointer arithmetic that, unlike Add, reports whether the
+// result stayed representable (kept its tag) — the check CHERI C inserts
+// for intptr_t round trips.
+func (c Capability) Increment(delta int64) (Capability, bool) {
+	out := c.Add(delta)
+	return out, out.Valid() == c.Valid()
+}

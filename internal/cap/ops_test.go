@@ -1,0 +1,132 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqual(t *testing.T) {
+	a := New(0x1000, 256, PermsData)
+	b := New(0x1000, 256, PermsData)
+	if !a.Equal(b) {
+		t.Error("identical capabilities not equal")
+	}
+	if a.Equal(a.ClearTag()) {
+		t.Error("tagged equals untagged")
+	}
+	if a.Equal(a.WithAddress(0x1008)) {
+		t.Error("different addresses equal")
+	}
+	if a.Equal(a.ClearPerms(PermStore)) {
+		t.Error("different perms equal")
+	}
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	outer := New(0x1000, 0x1000, PermsData)
+	inner, _ := outer.SetBounds(0x1100, 0x100)
+	if !inner.IsSubsetOf(outer) {
+		t.Error("derived capability not a subset of parent")
+	}
+	if outer.IsSubsetOf(inner) {
+		t.Error("parent a subset of child")
+	}
+	widePerms := New(0x1100, 0x100, PermsAll)
+	if widePerms.IsSubsetOf(outer) {
+		t.Error("more-permissive capability counted as subset")
+	}
+	if !inner.IsSubsetOf(Root()) {
+		t.Error("everything must be a subset of root")
+	}
+}
+
+func TestIsSubsetOfProperty(t *testing.T) {
+	// Property: anything derived via SetBounds/ClearPerms is a subset of
+	// its ancestor.
+	f := func(baseSeed, lenSeed uint64, permSeed uint32) bool {
+		base := 0x1000 + baseSeed%(1<<20)
+		length := 16 + lenSeed%(1<<12)
+		parent := New(0x1000, 1<<22, PermsData)
+		child, err := parent.SetBounds(base, length)
+		if err != nil {
+			return true // out of parent bounds: nothing to check
+		}
+		child = child.ClearPerms(Perms(permSeed) & PermsData)
+		return child.IsSubsetOf(parent)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCapRestoresTag(t *testing.T) {
+	authority := New(0x4000, 0x1000, PermsData)
+	orig, _ := authority.SetBounds(0x4100, 0x100)
+	bits, _ := orig.Encode() // tag deliberately discarded
+
+	rebuilt, err := BuildCap(authority, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.Valid() {
+		t.Fatal("rebuilt capability untagged")
+	}
+	if rebuilt.Base() != orig.Base() || rebuilt.Top() != orig.Top() {
+		t.Error("rebuilt bounds differ")
+	}
+}
+
+func TestBuildCapRejectsEscalation(t *testing.T) {
+	authority := New(0x4000, 0x1000, PermLoad)
+	// Bits describing a region outside the authority.
+	outside, _ := Root().SetBounds(0x9000, 0x100)
+	bits, _ := outside.Encode()
+	if _, err := BuildCap(authority, bits); !errors.Is(err, ErrBoundsViolation) {
+		t.Errorf("out-of-authority build = %v", err)
+	}
+	// Bits with more permissions than the authority.
+	strong := New(0x4100, 0x100, PermsData)
+	bits2, _ := strong.Encode()
+	if _, err := BuildCap(authority, bits2); !errors.Is(err, ErrBoundsViolation) {
+		t.Errorf("perm-escalating build = %v", err)
+	}
+	// Untagged authority cannot build.
+	if _, err := BuildCap(authority.ClearTag(), bits); !errors.Is(err, ErrTagViolation) {
+		t.Errorf("untagged authority = %v", err)
+	}
+}
+
+func TestBuildCapRejectsSealedBits(t *testing.T) {
+	authority := New(0x4000, 0x1000, PermsAll)
+	inner, _ := authority.SetBounds(0x4100, 0x100)
+	sealer := New(0, 0x1000, PermsAll).WithAddress(7)
+	sealed, _ := inner.Seal(sealer)
+	bits, _ := sealed.Encode()
+	if _, err := BuildCap(authority, bits); !errors.Is(err, ErrSealViolation) {
+		t.Errorf("sealed bits built: %v", err)
+	}
+}
+
+func TestClearTagIf(t *testing.T) {
+	c := New(0x1000, 64, PermsData)
+	if c.ClearTagIf(false) != c {
+		t.Error("false condition changed capability")
+	}
+	if c.ClearTagIf(true).Valid() {
+		t.Error("true condition kept tag")
+	}
+}
+
+func TestIncrementRepresentability(t *testing.T) {
+	c := New(0x1000, 256, PermsData)
+	in, ok := c.Increment(128)
+	if !ok || !in.Valid() {
+		t.Error("in-bounds increment lost tag")
+	}
+	big := New(0x4000_0000, 1<<26, PermsData)
+	_, ok = big.Increment(1 << 40)
+	if ok {
+		t.Error("far out-of-window increment reported representable")
+	}
+}

@@ -1,0 +1,76 @@
+package cap
+
+import "strings"
+
+// Perms is the architectural permission set carried by a capability.
+// The bit assignments follow the Morello profile of the CHERI ISA: a
+// capability authorises an operation only if the corresponding bit is set,
+// and permissions can only ever be cleared (monotonicity), never added.
+type Perms uint32
+
+// Architectural permission bits.
+const (
+	// PermGlobal marks a capability that may be stored via capabilities
+	// lacking PermStoreLocal.
+	PermGlobal Perms = 1 << iota
+	// PermExecute authorises instruction fetch through the capability.
+	PermExecute
+	// PermLoad authorises data loads.
+	PermLoad
+	// PermStore authorises data stores.
+	PermStore
+	// PermLoadCap authorises loading capabilities (with tags) from memory.
+	PermLoadCap
+	// PermStoreCap authorises storing capabilities (with tags) to memory.
+	PermStoreCap
+	// PermStoreLocal authorises storing non-global capabilities.
+	PermStoreLocal
+	// PermSeal authorises sealing other capabilities with this object type.
+	PermSeal
+	// PermUnseal authorises unsealing capabilities of this object type.
+	PermUnseal
+	// PermSystem authorises access to system registers.
+	PermSystem
+	// PermBranchSealedPair authorises branching to a sealed capability pair.
+	PermBranchSealedPair
+	// PermCompartmentID marks compartment-identifier capabilities.
+	PermCompartmentID
+	// PermMutableLoad authorises loading capabilities that retain PermStore.
+	PermMutableLoad
+
+	numPerms = 13
+)
+
+// PermsAll is the maximal permission set held by root capabilities.
+const PermsAll Perms = (1 << numPerms) - 1
+
+// PermsData is the permission set of a typical userspace data capability
+// (the allocator's view of the heap under the purecap ABIs).
+const PermsData = PermGlobal | PermLoad | PermStore | PermLoadCap | PermStoreCap | PermStoreLocal | PermMutableLoad
+
+// PermsCode is the permission set of an executable (PCC-like) capability.
+const PermsCode = PermGlobal | PermExecute | PermLoad
+
+var permNames = [numPerms]string{
+	"G", "X", "R", "W", "Rc", "Wc", "Wl", "Se", "Us", "Sys", "Bsp", "Cid", "Ml",
+}
+
+// Has reports whether p contains every permission in q.
+func (p Perms) Has(q Perms) bool { return p&q == q }
+
+// String renders the permission set in a compact rwx-like form.
+func (p Perms) String() string {
+	if p == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i := 0; i < numPerms; i++ {
+		if p&(1<<i) != 0 {
+			if b.Len() > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(permNames[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package compartment
+
+import (
+	"errors"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/cap"
+	"cherisim/internal/core"
+)
+
+func setup(t *testing.T) (*core.Machine, *Manager) {
+	t.Helper()
+	m := core.New(abi.Purecap)
+	m.Func("main", 1024, 96)
+	return m, NewManager(m)
+}
+
+func TestCreateSealsEntryPair(t *testing.T) {
+	m, g := setup(t)
+	_ = m
+	c, err := g.Create("libvfs", 2048, 128, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Entry.Sealed() || !c.Data.Sealed() {
+		t.Fatal("entry pair not sealed")
+	}
+	if c.Entry.OType() != c.Data.OType() {
+		t.Error("entry and data sealed with different otypes")
+	}
+	// The sealed capabilities are inert: no deref, no reseal.
+	if err := c.Data.CheckAccess(8, cap.PermLoad); !errors.Is(err, cap.ErrSealViolation) {
+		t.Errorf("sealed data dereferenced: %v", err)
+	}
+}
+
+func TestDistinctOTypesPerCompartment(t *testing.T) {
+	_, g := setup(t)
+	a, _ := g.Create("a", 1024, 64, 4096)
+	b, _ := g.Create("b", 1024, 64, 4096)
+	if a.Entry.OType() == b.Entry.OType() {
+		t.Error("compartments share an object type")
+	}
+}
+
+func TestCallCrossesAndRuns(t *testing.T) {
+	m, g := setup(t)
+	c, err := g.Create("libbtree", 2048, 128, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err = m.Run(func(m *core.Machine) {
+		for i := 0; i < 10; i++ {
+			if err := c.Call(func(data cap.Capability, heap core.Ptr) {
+				ran = true
+				if data.Sealed() {
+					t.Error("body received sealed data capability")
+				}
+				if !data.InBounds(uint64(heap), 64) {
+					t.Error("data capability does not cover the private heap")
+				}
+				m.Store(heap, uint64(i), 8)
+				m.Load(heap, 8)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body never ran")
+	}
+	if c.Crossings != 10 {
+		t.Errorf("crossings = %d", c.Crossings)
+	}
+}
+
+func TestCrossingCostCharged(t *testing.T) {
+	run := func(crossings int) uint64 {
+		m := core.New(abi.Purecap)
+		m.Func("main", 1024, 96)
+		g := NewManager(m)
+		c, _ := g.Create("lib", 2048, 128, 1<<16)
+		_ = m.Run(func(m *core.Machine) {
+			for i := 0; i < crossings; i++ {
+				_ = c.Call(func(cap.Capability, core.Ptr) { m.ALU(10) })
+			}
+		})
+		return m.Cycles()
+	}
+	few, many := run(10), run(1000)
+	perCrossing := float64(many-few) / 990
+	if perCrossing < 5 {
+		t.Errorf("crossing cost %.1f cycles, implausibly cheap", perCrossing)
+	}
+	if perCrossing > 500 {
+		t.Errorf("crossing cost %.1f cycles, context-switch territory (CHERI crossings are cheap)", perCrossing)
+	}
+}
+
+func TestPurecapCrossingsCostMoreThanBenchmarkABI(t *testing.T) {
+	// Domain transfers are capability jumps: under purecap they pay the
+	// Morello PCC penalty that the benchmark ABI avoids.
+	run := func(a abi.ABI) uint64 {
+		m := core.New(a)
+		m.Func("main", 1024, 96)
+		g := NewManager(m)
+		c, _ := g.Create("lib", 2048, 128, 1<<16)
+		_ = m.Run(func(m *core.Machine) {
+			for i := 0; i < 500; i++ {
+				_ = c.Call(func(cap.Capability, core.Ptr) { m.ALU(10) })
+			}
+		})
+		return m.Cycles()
+	}
+	if pure, bench := run(abi.Purecap), run(abi.Benchmark); pure <= bench {
+		t.Errorf("purecap crossings (%d cycles) not dearer than benchmark ABI (%d)", pure, bench)
+	}
+}
+
+func TestPrivateHeapBudget(t *testing.T) {
+	_, g := setup(t)
+	c, _ := g.Create("lib", 1024, 64, 256)
+	if _, err := c.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(16); err == nil {
+		t.Fatal("over-budget allocation accepted")
+	}
+}
+
+func TestCheckAccessEnforcesDomainBounds(t *testing.T) {
+	m, g := setup(t)
+	c, _ := g.Create("lib", 1024, 64, 4096)
+	outside := m.Alloc(64) // main-domain allocation
+	err := m.Run(func(m *core.Machine) {
+		_ = c.Call(func(data cap.Capability, heap core.Ptr) {
+			if err := CheckAccess(data, heap, 8); err != nil {
+				t.Errorf("in-domain access rejected: %v", err)
+			}
+			if err := CheckAccess(data, outside, 8); err == nil {
+				t.Error("cross-domain access authorised by private capability")
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "cherisim/internal/abi"
+
+// FieldKind is the declared type of one record field. The layout engine
+// plays the role of the compiler's record-layout pass: pointer fields are
+// 8 bytes under hybrid and 16-byte-aligned 16-byte capabilities under the
+// purecap ABIs, which is the mechanism behind the paper's footprint growth
+// for pointer-rich data structures.
+type FieldKind int
+
+// Field kinds.
+const (
+	FieldU8 FieldKind = iota
+	FieldU16
+	FieldU32
+	FieldU64
+	FieldF32
+	FieldF64
+	FieldPtr
+)
+
+func (k FieldKind) size(a abi.ABI) uint64 {
+	switch k {
+	case FieldU8:
+		return 1
+	case FieldU16:
+		return 2
+	case FieldU32, FieldF32:
+		return 4
+	case FieldU64, FieldF64:
+		return 8
+	case FieldPtr:
+		return a.PointerSize()
+	}
+	return 8
+}
+
+func (k FieldKind) align(a abi.ABI) uint64 {
+	if k == FieldPtr {
+		return a.PointerAlign()
+	}
+	return k.size(a)
+}
+
+// Layout is the computed per-ABI layout of a record type.
+type Layout struct {
+	abi     abi.ABI
+	offsets []uint64
+	kinds   []FieldKind
+	size    uint64
+}
+
+// Layout computes field offsets and total size for a record under this
+// machine's ABI, using natural alignment (as CHERI C/C++ does).
+func (m *Machine) Layout(fields ...FieldKind) *Layout {
+	l := &Layout{abi: m.ABI, kinds: append([]FieldKind(nil), fields...)}
+	var off uint64
+	maxAlign := uint64(1)
+	for _, f := range fields {
+		al := f.align(m.ABI)
+		if al > maxAlign {
+			maxAlign = al
+		}
+		off = (off + al - 1) &^ (al - 1)
+		l.offsets = append(l.offsets, off)
+		off += f.size(m.ABI)
+	}
+	l.size = (off + maxAlign - 1) &^ (maxAlign - 1)
+	if l.size == 0 {
+		l.size = 1
+	}
+	return l
+}
+
+// Size returns the record size in bytes (pointer fields included at the
+// ABI's pointer width).
+func (l *Layout) Size() uint64 { return l.size }
+
+// Offset returns the byte offset of field i.
+func (l *Layout) Offset(i int) uint64 { return l.offsets[i] }
+
+// Field returns the address of field i within the record at base.
+func (l *Layout) Field(base Ptr, i int) Ptr { return base + Ptr(l.offsets[i]) }
+
+// NumFields returns the field count.
+func (l *Layout) NumFields() int { return len(l.kinds) }
+
+// Kind returns field i's declared kind.
+func (l *Layout) Kind(i int) FieldKind { return l.kinds[i] }
+
+// Elem returns the address of element idx in an array of records at base.
+func (l *Layout) Elem(base Ptr, idx uint64) Ptr { return base + Ptr(idx*l.size) }

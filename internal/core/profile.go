@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Per-function cycle attribution: the simulator's analogue of pmcstat's
+// sampling mode (the paper used pmcstat on CheriBSD and found a sampling
+// bug in it, issue CTSRD-CHERI/cheribsd#2391). Every µop's incremental
+// cycle cost — including the stalls it caused — is attributed to the
+// function that was executing, so the profile explains *where* each ABI's
+// overhead lands.
+
+// attribute charges the cycle-estimate delta since the previous µop to the
+// current function. Called from uop(), so stall costs accrued by an
+// operation land on the function that issued it (off by at most one µop).
+func (m *Machine) attribute(n uint64) {
+	est := float64(m.classUops)/float64(m.Cfg.Width) +
+		m.feStall + m.pccStall +
+		m.beMemL1 + m.beMemL2 + m.beMemExt + m.beCore + m.badSpec
+	delta := est - m.lastCycleEst
+	m.lastCycleEst = est
+	if m.curFn != nil {
+		m.curFn.cycles += delta
+		m.curFn.uops += n
+	}
+}
+
+// FnProfile is one function's share of the run.
+type FnProfile struct {
+	Name   string
+	Cycles float64
+	Uops   uint64
+	// Share is Cycles as a fraction of the profiled total.
+	Share float64
+	// Samples is the pmcstat-style sample count at the given period.
+	Samples uint64
+}
+
+// Profile returns the per-function cycle attribution, sorted by cycles
+// descending. period is the sampling interval in cycles used to derive the
+// pmcstat-style sample counts (e.g. 65536); the shares themselves are
+// exact.
+func (m *Machine) Profile(period uint64) []FnProfile {
+	if period == 0 {
+		period = 65536
+	}
+	var total float64
+	for _, f := range m.fns {
+		total += f.cycles
+	}
+	out := make([]FnProfile, 0, len(m.fns))
+	for _, f := range m.fns {
+		if f.uops == 0 {
+			continue
+		}
+		p := FnProfile{Name: f.Name, Cycles: f.cycles, Uops: f.uops}
+		if total > 0 {
+			p.Share = f.cycles / total
+		}
+		p.Samples = uint64(f.cycles / float64(period))
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	return out
+}
+
+// FormatProfile renders the top-n profile entries as a pmcstat-style
+// report.
+func FormatProfile(prof []FnProfile, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %6s  %12s  %s\n", "SAMPLES", "%", "UOPS", "FUNCTION")
+	for i, p := range prof {
+		if i == n {
+			break
+		}
+		fmt.Fprintf(&b, "%8d  %5.1f%%  %12d  %s\n", p.Samples, p.Share*100, p.Uops, p.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cherisim/internal/abi"
+)
+
+func TestProfileAttribution(t *testing.T) {
+	m := New(abi.Hybrid)
+	m.Func("main", 512, 64)
+	hot := m.Func("hot", 512, 64)
+	cold := m.Func("cold", 512, 64)
+	err := m.Run(func(m *Machine) {
+		for i := 0; i < 100; i++ {
+			m.Call(hot, false)
+			m.ALU(200)
+			m.Return()
+		}
+		m.Call(cold, false)
+		m.ALU(50)
+		m.Return()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := m.Profile(0)
+	if len(prof) == 0 {
+		t.Fatal("empty profile")
+	}
+	if prof[0].Name != "hot" {
+		t.Errorf("top function = %s, want hot", prof[0].Name)
+	}
+	var hotShare, coldShare float64
+	for _, p := range prof {
+		switch p.Name {
+		case "hot":
+			hotShare = p.Share
+		case "cold":
+			coldShare = p.Share
+		}
+	}
+	// Call/return spill costs are attributed to the caller (main), so the
+	// callee's share tops out below its pure ALU proportion.
+	if hotShare < 0.7 {
+		t.Errorf("hot share = %.2f, want > 0.7", hotShare)
+	}
+	if coldShare >= hotShare {
+		t.Error("cold hotter than hot")
+	}
+}
+
+func TestProfileSharesSumToOne(t *testing.T) {
+	m := New(abi.Purecap)
+	m.Func("main", 512, 64)
+	f := m.Func("work", 512, 64)
+	_ = m.Run(func(m *Machine) {
+		m.Call(f, false)
+		arr := m.Alloc(1 << 18)
+		for i := 0; i < 2000; i++ {
+			m.Load(arr+Ptr(i*64), 8)
+			m.ALU(2)
+		}
+		m.Return()
+	})
+	var sum float64
+	for _, p := range m.Profile(0) {
+		sum += p.Share
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("shares sum to %.3f", sum)
+	}
+}
+
+func TestProfileStallsAttributedToIssuer(t *testing.T) {
+	// A function that only misses in DRAM must own those stall cycles.
+	m := New(abi.Hybrid)
+	m.Func("main", 512, 64)
+	misser := m.Func("misser", 512, 64)
+	err := m.Run(func(m *Machine) {
+		arr := m.Alloc(16 << 20)
+		m.Call(misser, false)
+		for i := 0; i < 5000; i++ {
+			m.LoadDep(arr+Ptr((uint64(i)*7919*64)%(16<<20)), 8)
+		}
+		m.Return()
+		m.ALU(100) // main's own cheap work
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := m.Profile(0)
+	if prof[0].Name != "misser" || prof[0].Share < 0.9 {
+		t.Errorf("stalls not attributed: top = %s (%.2f)", prof[0].Name, prof[0].Share)
+	}
+}
+
+func TestFormatProfile(t *testing.T) {
+	prof := []FnProfile{
+		{Name: "a", Cycles: 1000, Uops: 500, Share: 0.8, Samples: 10},
+		{Name: "b", Cycles: 250, Uops: 100, Share: 0.2, Samples: 2},
+	}
+	out := FormatProfile(prof, 1)
+	if !strings.Contains(out, "a") || strings.Contains(out, "\nb") {
+		t.Errorf("top-1 formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "80.0%") {
+		t.Errorf("share missing:\n%s", out)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/cap"
+)
+
+func TestRevocationInvalidatesDanglingCapability(t *testing.T) {
+	m := New(abi.Purecap)
+	m.Func("main", 512, 64)
+	err := m.Run(func(m *Machine) {
+		m.Heap.Quarantine = true
+		slot := m.Alloc(64)
+		victim := m.Alloc(128)
+		m.StorePtr(slot, victim) // a capability to victim lives in memory
+		m.Free(victim)           // quarantined, not reused
+
+		// Before the sweep the dangling capability still loads validly —
+		// the CHERI temporal-safety gap revocation closes.
+		m.LoadPtrChecked(slot)
+
+		st := m.Revoke()
+		if st.CapsRevoked == 0 {
+			t.Error("sweep revoked nothing")
+		}
+		if st.BytesReclaimed == 0 {
+			t.Error("sweep reclaimed nothing")
+		}
+		// The dangling capability is now untagged: dereference faults.
+		m.LoadPtrChecked(slot)
+	})
+	if err == nil {
+		t.Fatal("post-revocation use of dangling pointer did not fault")
+	}
+	if !errors.Is(err, cap.ErrTagViolation) {
+		t.Fatalf("fault class = %v, want tag violation", err)
+	}
+}
+
+func TestRevocationSparesLiveCapabilities(t *testing.T) {
+	m := New(abi.Purecap)
+	m.Func("main", 512, 64)
+	err := m.Run(func(m *Machine) {
+		m.Heap.Quarantine = true
+		slot := m.Alloc(64)
+		live := m.Alloc(128)
+		dead := m.Alloc(128)
+		m.StorePtr(slot, live)
+		m.Free(dead)
+		m.Revoke()
+		// live's capability must survive the sweep.
+		if got := m.LoadPtrChecked(slot); got != live {
+			t.Errorf("live capability corrupted: %#x != %#x", got, live)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantinePreventsImmediateReuse(t *testing.T) {
+	m := New(abi.Purecap)
+	m.Func("main", 512, 64)
+	_ = m.Run(func(m *Machine) {
+		m.Heap.Quarantine = true
+		a := m.Alloc(64)
+		m.Free(a)
+		b := m.Alloc(64)
+		if a == b {
+			t.Error("quarantined block reused before revocation")
+		}
+		m.Revoke()
+		c := m.Alloc(64)
+		if c != a {
+			t.Errorf("drained block not reused: got %#x want %#x", c, a)
+		}
+	})
+}
+
+func TestAutomaticSweepAtThreshold(t *testing.T) {
+	m := New(abi.Purecap)
+	m.Func("main", 512, 64)
+	_ = m.Run(func(m *Machine) {
+		m.EnableTemporalSafety(4096)
+		for i := 0; i < 40; i++ {
+			p := m.Alloc(256)
+			m.Free(p)
+		}
+	})
+	if len(m.Revocations()) == 0 {
+		t.Fatal("no automatic sweep despite crossing the threshold")
+	}
+	if q := m.Heap.QuarantineBytes(); q >= 4096 {
+		t.Errorf("quarantine not drained: %d bytes", q)
+	}
+}
+
+func TestSweepCostIsCharged(t *testing.T) {
+	// The sweep must consume instructions and cycles like real work.
+	run := func(revoke bool) uint64 {
+		m := New(abi.Purecap)
+		m.Func("main", 512, 64)
+		_ = m.Run(func(m *Machine) {
+			m.Heap.Quarantine = true
+			slots := m.Alloc(100 * 16)
+			for i := 0; i < 100; i++ {
+				obj := m.Alloc(64)
+				m.StorePtr(slots+Ptr(i*16), obj)
+			}
+			victim := m.Alloc(64)
+			m.Free(victim)
+			if revoke {
+				m.Revoke()
+			}
+		})
+		return m.Cycles()
+	}
+	with, without := run(true), run(false)
+	if with <= without {
+		t.Errorf("sweep was free: %d vs %d cycles", with, without)
+	}
+}
+
+func TestRevokeNoQuarantineIsNoop(t *testing.T) {
+	m := New(abi.Purecap)
+	m.Func("main", 512, 64)
+	_ = m.Run(func(m *Machine) {
+		st := m.Revoke()
+		if st.GranulesScanned != 0 || st.CapsRevoked != 0 {
+			t.Errorf("empty revoke did work: %+v", st)
+		}
+	})
+}

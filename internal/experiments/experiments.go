@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one regenerable artefact of the paper's evaluation.
+type Experiment struct {
+	// ID is the short handle used by cmd/experiments (-run fig1).
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Section points at the paper text the artefact appears in.
+	Section string
+	// Run executes the experiment against a measurement session and
+	// returns the rendered report.
+	Run func(s *Session) (string, error)
+}
+
+var registry = map[string]*Experiment{}
+var order []string
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// ByID returns the experiment with the given handle.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists every experiment handle in registration order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	return out
+}
+
+// All returns every experiment in a stable order: figures and tables in
+// paper order first, then ablations and claims.
+func All() []*Experiment {
+	ids := IDs()
+	sort.SliceStable(ids, func(i, j int) bool { return rank(ids[i]) < rank(ids[j]) })
+	var out []*Experiment
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+func rank(id string) int {
+	for i, want := range []string{
+		"table1", "table2", "fig1", "fig2", "table3", "fig3", "table4",
+		"fig4", "fig5", "fig6", "fig7", "claims",
+	} {
+		if id == want {
+			return i
+		}
+	}
+	return 100
+}

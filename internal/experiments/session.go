@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): each experiment is a named runner that executes the
+// needed (workload, ABI) combinations on the simulated Morello platform,
+// derives the paper's metrics, and renders the same rows/series the paper
+// reports, annotated with the paper's values where it states them.
+package experiments
+
+import (
+	"sync"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/alloc"
+	"cherisim/internal/core"
+	"cherisim/internal/metrics"
+	"cherisim/internal/pmu"
+	"cherisim/internal/topdown"
+	"cherisim/internal/workloads"
+)
+
+// RunData is the retained outcome of one workload execution.
+type RunData struct {
+	Counters pmu.Counters
+	Metrics  metrics.Metrics
+	Topdown  topdown.Breakdown
+	Heap     alloc.Stats
+	Err      error
+}
+
+// Session caches workload runs so experiments that share measurements
+// (e.g. Figure 1 and Table 3) execute each (workload, ABI) pair once, the
+// way the paper reuses one measurement campaign across its analyses.
+type Session struct {
+	// Scale multiplies every workload's iteration counts.
+	Scale int
+	// Configure, when set, adjusts the machine configuration before a run
+	// (used by ablation experiments).
+	Configure func(*core.Config)
+
+	mu    sync.Mutex
+	cache map[string]*RunData
+}
+
+// NewSession creates a measurement session at the given workload scale.
+func NewSession(scale int) *Session {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Session{Scale: scale, cache: make(map[string]*RunData)}
+}
+
+// Run returns the (cached) outcome of executing workload w under ABI a.
+func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
+	key := w.Name + "/" + a.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.cache[key]; ok {
+		return d
+	}
+	cfg := core.DefaultConfig(a)
+	if s.Configure != nil {
+		s.Configure(&cfg)
+	}
+	m, err := workloads.ExecuteConfig(w, cfg, s.Scale)
+	d := &RunData{Err: err}
+	if m != nil {
+		d.Counters = m.C
+		d.Metrics = metrics.Compute(&m.C)
+		d.Topdown = topdown.Analyze(&m.C)
+		d.Heap = m.Heap.Stats()
+	}
+	s.cache[key] = d
+	return d
+}
+
+// RunByName is Run with a workload name lookup.
+func (s *Session) RunByName(name string, a abi.ABI) (*RunData, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(w, a), nil
+}
+
+// Seconds returns the simulated execution time for (w, a), or NaN-free 0
+// when the run faulted.
+func (s *Session) Seconds(w *workloads.Workload, a abi.ABI) float64 {
+	d := s.Run(w, a)
+	if d.Err != nil {
+		return 0
+	}
+	return d.Metrics.Seconds
+}
+
+// Overhead returns time(a)/time(hybrid) for workload w.
+func (s *Session) Overhead(w *workloads.Workload, a abi.ABI) float64 {
+	hy := s.Seconds(w, abi.Hybrid)
+	if hy == 0 {
+		return 0
+	}
+	return s.Seconds(w, a) / hy
+}

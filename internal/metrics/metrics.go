@@ -1,0 +1,143 @@
+// Package metrics computes the derived metrics of the paper's Table 1 from
+// raw PMU event counts. Every formula matches the table verbatim, including
+// the quirks of the paper's methodology (Retiring% as INST_SPEC over the
+// sum of all *_SPEC events, and Bad Speculation as the clamped residual of
+// the four top-level categories).
+package metrics
+
+import "cherisim/internal/pmu"
+
+// Metrics is the full derived-metric set for one (workload, ABI) sample.
+type Metrics struct {
+	// Cycle accounting.
+	Cycles  uint64
+	Insts   uint64
+	Seconds float64
+	IPC     float64
+	CPI     float64
+
+	// Top-level stalls (fractions of a notional slot budget; see Table 1).
+	FrontendBound float64
+	BackendBound  float64
+	Retiring      float64
+	BadSpec       float64
+
+	// Branch prediction.
+	BranchMR float64
+
+	// Cache behaviour.
+	L1IMR       float64
+	L1IMPKI     float64
+	L1DMR       float64
+	L1DMPKI     float64
+	L2MR        float64
+	L2MPKI      float64
+	LLCReadMR   float64
+	LLCReadMPKI float64
+
+	// TLB behaviour.
+	ITLBWalkRate float64
+	ITLBWPKI     float64
+	DTLBWalkRate float64
+	DTLBWPKI     float64
+
+	// CHERI-specific memory metrics.
+	CapLoadDensity  float64
+	CapStoreDensity float64
+	CapTrafficShare float64
+	CapTagOverhead  float64
+
+	// Instruction-mix-based memory intensity (Table 2's MI).
+	MemoryIntensity float64
+}
+
+// specSum returns SUM(*_SPEC) per the paper's footnote: INST_SPEC plus the
+// per-class speculative counts.
+func specSum(c *pmu.Counters) uint64 {
+	return c.Get(pmu.INST_SPEC) + c.Sum(pmu.SpecEvents...)
+}
+
+// Compute derives the full metric set from a counter file using the
+// Table 1 formulas.
+func Compute(c *pmu.Counters) Metrics {
+	var m Metrics
+	m.Cycles = c.Get(pmu.CPU_CYCLES)
+	m.Insts = c.Get(pmu.INST_RETIRED)
+	m.Seconds = float64(m.Cycles) / 2.5e9
+	m.IPC = c.Ratio(pmu.INST_RETIRED, pmu.CPU_CYCLES)
+	m.CPI = c.Ratio(pmu.CPU_CYCLES, pmu.INST_RETIRED)
+
+	m.FrontendBound = c.Ratio(pmu.STALL_FRONTEND, pmu.CPU_CYCLES)
+	m.BackendBound = c.Ratio(pmu.STALL_BACKEND, pmu.CPU_CYCLES)
+	if s := specSum(c); s > 0 {
+		m.Retiring = float64(c.Get(pmu.INST_SPEC)) / float64(s)
+	}
+	m.BadSpec = clamp01(1 - m.Retiring - m.FrontendBound - m.BackendBound)
+
+	m.BranchMR = c.Ratio(pmu.BR_MIS_PRED_RETIRED, pmu.BR_RETIRED)
+
+	kilo := func(e pmu.Event) float64 {
+		if m.Insts == 0 {
+			return 0
+		}
+		return float64(c.Get(e)) / float64(m.Insts) * 1000
+	}
+	m.L1IMR = c.Ratio(pmu.L1I_CACHE_REFILL, pmu.L1I_CACHE)
+	m.L1IMPKI = kilo(pmu.L1I_CACHE_REFILL)
+	m.L1DMR = c.Ratio(pmu.L1D_CACHE_REFILL, pmu.L1D_CACHE)
+	m.L1DMPKI = kilo(pmu.L1D_CACHE_REFILL)
+	m.L2MR = c.Ratio(pmu.L2D_CACHE_REFILL, pmu.L2D_CACHE)
+	m.L2MPKI = kilo(pmu.L2D_CACHE_REFILL)
+	m.LLCReadMR = c.Ratio(pmu.LL_CACHE_MISS_RD, pmu.LL_CACHE_RD)
+	m.LLCReadMPKI = kilo(pmu.LL_CACHE_MISS_RD)
+
+	m.ITLBWalkRate = c.Ratio(pmu.ITLB_WALK, pmu.L1I_TLB)
+	m.ITLBWPKI = kilo(pmu.ITLB_WALK)
+	m.DTLBWalkRate = c.Ratio(pmu.DTLB_WALK, pmu.L1D_TLB)
+	m.DTLBWPKI = kilo(pmu.DTLB_WALK)
+
+	m.CapLoadDensity = c.Ratio(pmu.CAP_MEM_ACCESS_RD, pmu.LD_SPEC)
+	m.CapStoreDensity = c.Ratio(pmu.CAP_MEM_ACCESS_WR, pmu.ST_SPEC)
+	if tot := c.Get(pmu.MEM_ACCESS_RD) + c.Get(pmu.MEM_ACCESS_WR); tot > 0 {
+		m.CapTrafficShare = float64(c.Get(pmu.CAP_MEM_ACCESS_RD)+c.Get(pmu.CAP_MEM_ACCESS_WR)) / float64(tot)
+		m.CapTagOverhead = float64(c.Get(pmu.MEM_ACCESS_RD_CTAG)+c.Get(pmu.MEM_ACCESS_WR_CTAG)) / float64(tot)
+	}
+
+	if den := c.Sum(pmu.DP_SPEC, pmu.ASE_SPEC, pmu.VFP_SPEC); den > 0 {
+		m.MemoryIntensity = float64(c.Sum(pmu.LD_SPEC, pmu.ST_SPEC)) / float64(den)
+	}
+	return m
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// MIClass is the paper's memory-intensity classification (§3.3).
+type MIClass string
+
+// Classification bands from §3.3.
+const (
+	ComputeIntensive MIClass = "compute-intensive"
+	Balanced         MIClass = "balanced"
+	MemoryCentric    MIClass = "memory-centric"
+)
+
+// ClassifyMI applies the paper's thresholds: below ~0.6 compute-intensive,
+// 0.6–1.0 balanced, above 1.0 memory-centric.
+func ClassifyMI(mi float64) MIClass {
+	switch {
+	case mi < 0.6:
+		return ComputeIntensive
+	case mi <= 1.0:
+		return Balanced
+	default:
+		return MemoryCentric
+	}
+}

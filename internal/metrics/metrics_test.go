@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cherisim/internal/pmu"
+)
+
+func sampleCounters() *pmu.Counters {
+	var c pmu.Counters
+	c.Add(pmu.CPU_CYCLES, 10000)
+	c.Add(pmu.INST_RETIRED, 15000)
+	c.Add(pmu.INST_SPEC, 16000)
+	c.Add(pmu.STALL_FRONTEND, 1000)
+	c.Add(pmu.STALL_BACKEND, 3000)
+	c.Add(pmu.BR_RETIRED, 2000)
+	c.Add(pmu.BR_MIS_PRED_RETIRED, 40)
+	c.Add(pmu.L1I_CACHE, 8000)
+	c.Add(pmu.L1I_CACHE_REFILL, 80)
+	c.Add(pmu.L1D_CACHE, 5000)
+	c.Add(pmu.L1D_CACHE_REFILL, 250)
+	c.Add(pmu.L2D_CACHE, 400)
+	c.Add(pmu.L2D_CACHE_REFILL, 100)
+	c.Add(pmu.LL_CACHE_RD, 100)
+	c.Add(pmu.LL_CACHE_MISS_RD, 95)
+	c.Add(pmu.L1I_TLB, 8000)
+	c.Add(pmu.L1D_TLB, 5000)
+	c.Add(pmu.ITLB_WALK, 8)
+	c.Add(pmu.DTLB_WALK, 25)
+	c.Add(pmu.LD_SPEC, 4000)
+	c.Add(pmu.ST_SPEC, 1500)
+	c.Add(pmu.DP_SPEC, 7000)
+	c.Add(pmu.ASE_SPEC, 1000)
+	c.Add(pmu.VFP_SPEC, 2000)
+	c.Add(pmu.BR_IMMED_SPEC, 500)
+	c.Add(pmu.MEM_ACCESS_RD, 4000)
+	c.Add(pmu.MEM_ACCESS_WR, 1500)
+	c.Add(pmu.CAP_MEM_ACCESS_RD, 2000)
+	c.Add(pmu.CAP_MEM_ACCESS_WR, 900)
+	c.Add(pmu.MEM_ACCESS_RD_CTAG, 1900)
+	c.Add(pmu.MEM_ACCESS_WR_CTAG, 850)
+	return &c
+}
+
+func TestTable1Formulas(t *testing.T) {
+	c := sampleCounters()
+	m := Compute(c)
+
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("IPC", m.IPC, 1.5)
+	approx("CPI", m.CPI, 10000.0/15000.0)
+	approx("FrontendBound", m.FrontendBound, 0.1)
+	approx("BackendBound", m.BackendBound, 0.3)
+	// Retiring = INST_SPEC / (INST_SPEC + sum of class *_SPEC).
+	spec := 16000.0 + 4000 + 1500 + 7000 + 1000 + 2000 + 500
+	approx("Retiring", m.Retiring, 16000.0/spec)
+	approx("BadSpec", m.BadSpec, 1-16000.0/spec-0.1-0.3)
+	approx("BranchMR", m.BranchMR, 0.02)
+	approx("L1IMR", m.L1IMR, 0.01)
+	approx("L1IMPKI", m.L1IMPKI, 80.0/15000*1000)
+	approx("L1DMR", m.L1DMR, 0.05)
+	approx("L2MR", m.L2MR, 0.25)
+	approx("LLCReadMR", m.LLCReadMR, 0.95)
+	approx("ITLBWalkRate", m.ITLBWalkRate, 8.0/8000)
+	approx("DTLBWalkRate", m.DTLBWalkRate, 25.0/5000)
+	approx("CapLoadDensity", m.CapLoadDensity, 0.5)
+	approx("CapStoreDensity", m.CapStoreDensity, 0.6)
+	approx("CapTrafficShare", m.CapTrafficShare, 2900.0/5500)
+	approx("CapTagOverhead", m.CapTagOverhead, 2750.0/5500)
+	approx("MemoryIntensity", m.MemoryIntensity, 5500.0/10000)
+}
+
+func TestZeroCountersSafe(t *testing.T) {
+	var c pmu.Counters
+	m := Compute(&c)
+	if m.IPC != 0 || m.BranchMR != 0 || m.CapLoadDensity != 0 || m.MemoryIntensity != 0 {
+		t.Errorf("zero counters produced nonzero metrics: %+v", m)
+	}
+}
+
+func TestTopLevelCategoriesSumAtMostOne(t *testing.T) {
+	// Property: Retiring + BadSpec + FE + BE is >= the unclamped identity
+	// (BadSpec absorbs the residual, clamped at zero), and BadSpec ∈ [0,1].
+	f := func(cyc, fe, be, inst uint32) bool {
+		var c pmu.Counters
+		cycles := uint64(cyc%100000) + 1000
+		c.Add(pmu.CPU_CYCLES, cycles)
+		c.Add(pmu.STALL_FRONTEND, uint64(fe)%cycles)
+		c.Add(pmu.STALL_BACKEND, uint64(be)%cycles)
+		c.Add(pmu.INST_SPEC, uint64(inst%100000)+1)
+		c.Add(pmu.DP_SPEC, uint64(inst%90000)+1)
+		m := Compute(&c)
+		return m.BadSpec >= 0 && m.BadSpec <= 1 && m.Retiring >= 0 && m.Retiring <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyMI(t *testing.T) {
+	cases := []struct {
+		mi   float64
+		want MIClass
+	}{
+		{0.309, ComputeIntensive}, // LLaMA inference
+		{0.438, ComputeIntensive}, // lbm
+		{0.565, ComputeIntensive}, // leela
+		{0.680, Balanced},         // QuickJS
+		{0.816, Balanced},         // SQLite
+		{0.922, Balanced},         // parest
+		{1.164, MemoryCentric},    // omnetpp
+	}
+	for _, tc := range cases {
+		if got := ClassifyMI(tc.mi); got != tc.want {
+			t.Errorf("ClassifyMI(%v) = %v, want %v", tc.mi, got, tc.want)
+		}
+	}
+}

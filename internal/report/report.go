@@ -1,0 +1,156 @@
+// Package report serialises measurement results into machine-readable
+// artefacts (JSON and CSV), so downstream analysis — plotting the paper's
+// figures, regression tracking across simulator versions — can consume the
+// simulator's output without scraping text tables. The paper publishes its
+// data as an artefact (github.com/xshaun/iiswc25-ae); this package is the
+// equivalent export path.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/metrics"
+	"cherisim/internal/pmu"
+	"cherisim/internal/topdown"
+)
+
+// Sample is one (workload, ABI) measurement in exportable form.
+type Sample struct {
+	Workload string             `json:"workload"`
+	ABI      string             `json:"abi"`
+	Metrics  metrics.Metrics    `json:"metrics"`
+	Topdown  topdown.Breakdown  `json:"topdown"`
+	Events   map[string]uint64  `json:"events"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+// NewSample builds a Sample from raw counters.
+func NewSample(workload string, a abi.ABI, c *pmu.Counters) Sample {
+	events := make(map[string]uint64, int(pmu.NumEvents))
+	for _, e := range pmu.AllEvents() {
+		events[e.String()] = c.Get(e)
+	}
+	return Sample{
+		Workload: workload,
+		ABI:      a.String(),
+		Metrics:  metrics.Compute(c),
+		Topdown:  topdown.Analyze(c),
+		Events:   events,
+	}
+}
+
+// Dataset is an ordered collection of samples with provenance metadata.
+type Dataset struct {
+	// Tool identifies the producer ("cherisim").
+	Tool string `json:"tool"`
+	// Scale is the workload scale factor the samples were collected at.
+	Scale int `json:"scale"`
+	// Samples holds the measurements in collection order.
+	Samples []Sample `json:"samples"`
+}
+
+// NewDataset creates an empty dataset for the given scale.
+func NewDataset(scale int) *Dataset {
+	return &Dataset{Tool: "cherisim", Scale: scale}
+}
+
+// Add appends a sample.
+func (d *Dataset) Add(s Sample) { d.Samples = append(d.Samples, s) }
+
+// WriteJSON streams the dataset as indented JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadJSON parses a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &d, nil
+}
+
+// csvMetricColumns is the derived-metric column set of the CSV export, in
+// a stable order.
+var csvMetricColumns = []struct {
+	name string
+	get  func(m *metrics.Metrics, t *topdown.Breakdown) float64
+}{
+	{"seconds", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.Seconds }},
+	{"ipc", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.IPC }},
+	{"branch_mr", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.BranchMR }},
+	{"l1i_mr", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.L1IMR }},
+	{"l1d_mr", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.L1DMR }},
+	{"l2_mr", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.L2MR }},
+	{"llc_rd_mr", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.LLCReadMR }},
+	{"dtlb_walk_rate", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.DTLBWalkRate }},
+	{"cap_load_density", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.CapLoadDensity }},
+	{"cap_store_density", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.CapStoreDensity }},
+	{"cap_traffic_share", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.CapTrafficShare }},
+	{"memory_intensity", func(m *metrics.Metrics, _ *topdown.Breakdown) float64 { return m.MemoryIntensity }},
+	{"retiring", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.Retiring }},
+	{"bad_spec", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.BadSpec }},
+	{"frontend_bound", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.FrontendBound }},
+	{"backend_bound", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.BackendBound }},
+	{"memory_bound", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.MemoryBound }},
+	{"core_bound", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.CoreBound }},
+}
+
+// WriteMetricsCSV emits one row per sample with the derived-metric columns.
+func (d *Dataset) WriteMetricsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "abi"}
+	for _, c := range csvMetricColumns {
+		header = append(header, c.name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range d.Samples {
+		s := &d.Samples[i]
+		row := []string{s.Workload, s.ABI}
+		for _, c := range csvMetricColumns {
+			row = append(row, strconv.FormatFloat(c.get(&s.Metrics, &s.Topdown), 'g', 8, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEventsCSV emits one row per sample with every raw PMU event as a
+// column (stable, sorted order).
+func (d *Dataset) WriteEventsCSV(w io.Writer) error {
+	names := make([]string, 0, int(pmu.NumEvents))
+	for _, e := range pmu.AllEvents() {
+		names = append(names, e.String())
+	}
+	sort.Strings(names)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"workload", "abi"}, names...)); err != nil {
+		return err
+	}
+	for _, s := range d.Samples {
+		row := []string{s.Workload, s.ABI}
+		for _, n := range names {
+			row = append(row, strconv.FormatUint(s.Events[n], 10))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

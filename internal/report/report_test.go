@@ -1,0 +1,107 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/pmu"
+	"cherisim/internal/workloads"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset(1)
+	w, err := workloads.ByName("519.lbm_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []abi.ABI{abi.Hybrid, abi.Purecap} {
+		m, err := workloads.Execute(w, a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Add(NewSample(w.Name, a, &m.C))
+	}
+	return d
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "cherisim" || got.Scale != 1 || len(got.Samples) != 2 {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+	s := got.Samples[0]
+	if s.Workload != "519.lbm_r" || s.ABI != "hybrid" {
+		t.Errorf("sample identity lost: %s/%s", s.Workload, s.ABI)
+	}
+	if s.Metrics.IPC <= 0 || s.Events["CPU_CYCLES"] == 0 {
+		t.Error("measurement data lost in round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMetricsCSVShape(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 samples
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "workload" || rows[0][2] != "seconds" {
+		t.Errorf("header = %v", rows[0][:3])
+	}
+	for _, r := range rows[1:] {
+		if len(r) != len(rows[0]) {
+			t.Error("ragged CSV row")
+		}
+	}
+	if rows[1][1] != "hybrid" || rows[2][1] != "purecap" {
+		t.Errorf("abi column wrong: %s/%s", rows[1][1], rows[2][1])
+	}
+}
+
+func TestEventsCSVCoversAllEvents(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteEventsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := 2 + int(pmu.NumEvents)
+	if len(rows[0]) != wantCols {
+		t.Fatalf("header columns = %d, want %d", len(rows[0]), wantCols)
+	}
+	// Every value parses as an unsigned integer.
+	for _, cell := range rows[1][2:] {
+		for _, ch := range cell {
+			if ch < '0' || ch > '9' {
+				t.Fatalf("non-numeric event cell %q", cell)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package soc co-runs multiple simulated Morello cores against one shared
+// system-level cache, extending the paper's single-core methodology to the
+// multiprogrammed case the quad-core Morello SoC supports (§2.2 describes
+// the 1 MB LL cache shared by all four cores; the paper disabled SMT and
+// measured one core at a time). Cores execute in deterministic round-robin
+// time quanta, so co-run results are exactly reproducible.
+package soc
+
+import (
+	"fmt"
+
+	"cherisim/internal/cache"
+	"cherisim/internal/core"
+)
+
+// CoreSpec describes one core's configuration and workload body.
+type CoreSpec struct {
+	Config core.Config
+	Body   func(*core.Machine)
+}
+
+// Result holds one core's finished machine (counters finalized) and the
+// capability fault that terminated it, if any.
+type Result struct {
+	Machine *core.Machine
+	Err     error
+}
+
+// QuantumUops is the scheduling quantum: each core executes this many µops
+// before the next core runs. Small enough that cache interleaving is
+// realistic, large enough to keep scheduling overhead negligible.
+const QuantumUops = 8192
+
+// Run co-runs the specs on a shared LLC and returns per-core results. The
+// scheduler is a deterministic round robin: core 0 runs one quantum, then
+// core 1, and so on; finished cores drop out. Only one core executes at
+// any instant, so the shared cache needs no locking and results are
+// bit-reproducible.
+func Run(specs []CoreSpec) []Result {
+	n := len(specs)
+	results := make([]Result, n)
+	if n == 0 {
+		return results
+	}
+
+	sharedLLC := cache.New(specs[0].Config.LLC)
+
+	type coreState struct {
+		resume chan struct{}
+		yield  chan bool // true = finished
+	}
+	states := make([]*coreState, n)
+
+	for i, spec := range specs {
+		st := &coreState{resume: make(chan struct{}), yield: make(chan bool)}
+		states[i] = st
+		m := core.NewMachine(spec.Config)
+		m.ShareLLC(sharedLLC, i)
+		m.SetQuantum(QuantumUops, func() {
+			st.yield <- false
+			<-st.resume
+		})
+		results[i].Machine = m
+		body := spec.Body
+		go func(i int) {
+			<-st.resume
+			results[i].Err = m.Run(body)
+			st.yield <- true
+		}(i)
+	}
+
+	// Deterministic round robin until every core finishes.
+	alive := make([]bool, n)
+	remaining := n
+	for i := range alive {
+		alive[i] = true
+	}
+	for remaining > 0 {
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			states[i].resume <- struct{}{}
+			if done := <-states[i].yield; done {
+				alive[i] = false
+				remaining--
+			}
+		}
+	}
+	return results
+}
+
+// RunWorkloads is a convenience wrapper co-running named workload bodies
+// under one ABI configuration per core.
+func RunWorkloads(cfgs []core.Config, bodies []func(*core.Machine)) ([]Result, error) {
+	if len(cfgs) != len(bodies) {
+		return nil, fmt.Errorf("soc: %d configs for %d bodies", len(cfgs), len(bodies))
+	}
+	specs := make([]CoreSpec, len(cfgs))
+	for i := range cfgs {
+		specs[i] = CoreSpec{Config: cfgs[i], Body: bodies[i]}
+	}
+	return Run(specs), nil
+}

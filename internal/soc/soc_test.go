@@ -1,0 +1,126 @@
+package soc
+
+import (
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/pmu"
+	"cherisim/internal/workloads"
+)
+
+// streamBody builds a body that accesses random lines of its own buffer
+// (an LCG walk, so LRU caches retain a proportional working-set share —
+// cyclic streams would degenerate to 100 % misses at every level).
+func streamBody(bufBytes uint64, accesses int) func(*core.Machine) {
+	return func(m *core.Machine) {
+		m.Func("stream", 1024, 64)
+		buf := m.Alloc(bufBytes)
+		lines := bufBytes / 64
+		x := uint64(1)
+		for i := 0; i < accesses; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			m.LoadDep(buf+core.Ptr((x%lines)*64), 8)
+			m.ALU(2)
+		}
+	}
+}
+
+func TestSoloRun(t *testing.T) {
+	res := Run([]CoreSpec{{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)}})
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("solo run failed: %+v", res)
+	}
+	if res[0].Machine.Cycles() == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestDeterministicCoRun(t *testing.T) {
+	run := func() [2]pmu.Counters {
+		res := Run([]CoreSpec{
+			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(512<<10, 20000)},
+			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(512<<10, 20000)},
+		})
+		return [2]pmu.Counters{res[0].Machine.C, res[1].Machine.C}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("co-run not deterministic")
+	}
+}
+
+func TestLLCContentionSlowsCoRunners(t *testing.T) {
+	// Solo: a 1.5 MiB working set exceeds the private 1 MiB L2, so ~0.5 MiB
+	// of each pass is served by the LLC, which holds it comfortably.
+	solo := Run([]CoreSpec{{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(1536<<10, 60000)}})
+	soloCycles := solo[0].Machine.Cycles()
+
+	// Co-run four of them: the combined L2 spill (4 x ~0.5 MiB) thrashes
+	// the 1 MiB shared LLC; each core must slow down.
+	specs := make([]CoreSpec, 4)
+	for i := range specs {
+		specs[i] = CoreSpec{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(1536<<10, 60000)}
+	}
+	co := Run(specs)
+	for i, r := range co {
+		if r.Err != nil {
+			t.Fatalf("core %d: %v", i, r.Err)
+		}
+		ratio := float64(r.Machine.Cycles()) / float64(soloCycles)
+		if ratio < 1.02 {
+			t.Errorf("core %d: co-run/solo = %.3f, want visible LLC contention", i, ratio)
+		}
+	}
+}
+
+func TestAddressSpacesIsolated(t *testing.T) {
+	// Two cores writing the same virtual addresses must not alias in the
+	// shared LLC (distinct salts = distinct physical mappings).
+	body := func(m *core.Machine) {
+		m.Func("w", 512, 64)
+		p := m.Alloc(4096)
+		m.Store(p, 42, 8)
+		if v := m.Load(p, 8); v != 42 {
+			panic("corrupted")
+		}
+	}
+	res := Run([]CoreSpec{
+		{Config: core.DefaultConfig(abi.Purecap), Body: body},
+		{Config: core.DefaultConfig(abi.Purecap), Body: body},
+	})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Errorf("core %d: %v", i, r.Err)
+		}
+	}
+}
+
+func TestCoRunRealWorkloads(t *testing.T) {
+	omnet, err := workloads.ByName("520.omnetpp_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	llama, err := workloads.ByName("llama-matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run([]CoreSpec{
+		{Config: core.DefaultConfig(abi.Purecap), Body: func(m *core.Machine) { omnet.Run(m, 1) }},
+		{Config: core.DefaultConfig(abi.Purecap), Body: func(m *core.Machine) { llama.Run(m, 1) }},
+	})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("core %d: %v", i, r.Err)
+		}
+		if r.Machine.C.Get(pmu.INST_RETIRED) == 0 {
+			t.Errorf("core %d did no work", i)
+		}
+	}
+}
+
+func TestRunWorkloadsValidation(t *testing.T) {
+	if _, err := RunWorkloads(make([]core.Config, 2), make([]func(*core.Machine), 1)); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

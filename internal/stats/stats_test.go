@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty input not zero")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("negative input not rejected")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v, want 1", r)
+	}
+	inv := []float64{8, 6, 4, 2}
+	if r := Pearson(x, inv); math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Errorf("constant series r = %v", r)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		// Constrain magnitudes: quick generates values near ±MaxFloat64
+		// whose squares overflow to +Inf, which is a float limitation,
+		// not a property of the estimator.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		x := []float64{clamp(a), clamp(b), clamp(c)}
+		y := []float64{clamp(d), clamp(e), clamp(g)}
+		r := Pearson(x, y)
+		return r >= -1.0000001 && r <= 1.0000001 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelateMatrix(t *testing.T) {
+	m, err := Correlate(
+		[]string{"a", "b", "c"},
+		[][]float64{{1, 2, 3}, {2, 4, 6}, {3, 1, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R[0][0] != 1 || m.R[1][1] != 1 {
+		t.Error("diagonal not 1")
+	}
+	if math.Abs(m.R[0][1]-1) > 1e-12 || m.R[0][1] != m.R[1][0] {
+		t.Errorf("matrix not symmetric/correct: %v", m.R)
+	}
+}
+
+func TestCorrelateValidation(t *testing.T) {
+	if _, err := Correlate([]string{"a"}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("label/series mismatch accepted")
+	}
+	if _, err := Correlate([]string{"a", "b"}, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestStrongPairs(t *testing.T) {
+	m, _ := Correlate(
+		[]string{"x", "y", "z"},
+		[][]float64{{1, 2, 3, 4}, {2, 4, 6, 8}, {4, 1, 5, 2}},
+	)
+	pairs := m.StrongPairs(0.95)
+	if len(pairs) != 1 || !strings.Contains(pairs[0], "x~y") {
+		t.Errorf("strong pairs = %v", pairs)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m, _ := Correlate([]string{"left", "right"}, [][]float64{{1, 2}, {2, 1}})
+	s := m.String()
+	if !strings.Contains(s, "left") || !strings.Contains(s, "+1.00") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("normalize = %v", got)
+	}
+	if z := Normalize([]float64{1}, 0); z[0] != 0 {
+		t.Error("zero base not handled")
+	}
+}

@@ -1,0 +1,134 @@
+// Package tlb models the Neoverse N1 translation machinery: small
+// fully-associative L1 instruction and data TLBs, a larger unified L2 TLB,
+// and a page-table walker whose activity surfaces as the ITLB_WALK /
+// DTLB_WALK PMU events the paper analyses in §4.7.
+package tlb
+
+// Config describes one TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	PageLog uint // log2 of page size translated
+}
+
+// Morello/N1 geometry: 48-entry L1 TLBs, 1280-entry unified L2 TLB,
+// 4 KiB granule.
+var (
+	L1IConfig = Config{Name: "L1I-TLB", Entries: 48, PageLog: 12}
+	L1DConfig = Config{Name: "L1D-TLB", Entries: 48, PageLog: 12}
+	L2Config  = Config{Name: "L2-TLB", Entries: 1280, PageLog: 12}
+)
+
+// WalkLatency is the cost in cycles of a page-table walk that misses all
+// TLB levels (four sequential memory accesses hitting mid-hierarchy).
+const WalkLatency = 45
+
+type entry struct {
+	vpn   uint64
+	valid bool
+	lru   uint64
+}
+
+// Stats exposes TLB activity to the PMU.
+type Stats struct {
+	Accesses uint64 // L1x_TLB in the paper's tables
+	Misses   uint64 // L1 misses (refills from L2 or walker)
+}
+
+// TLB is one translation-cache level, fully associative with LRU
+// replacement (adequate at these sizes and matches N1 behaviour closely).
+// A map index keeps lookups O(1); the LRU victim scan runs only on
+// insertion after a miss.
+type TLB struct {
+	cfg     Config
+	entries []entry
+	index   map[uint64]int // vpn -> entry slot
+	seq     uint64
+	Stats   Stats
+}
+
+// New builds a TLB from its configuration.
+func New(cfg Config) *TLB {
+	return &TLB{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Entries),
+		index:   make(map[uint64]int, cfg.Entries),
+	}
+}
+
+// Lookup translates addr, returning whether the translation hit this level.
+func (t *TLB) Lookup(addr uint64) bool {
+	t.Stats.Accesses++
+	vpn := addr >> t.cfg.PageLog
+	t.seq++
+	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
+		t.entries[i].lru = t.seq
+		return true
+	}
+	t.Stats.Misses++
+	return false
+}
+
+// Insert installs a translation for addr's page.
+func (t *TLB) Insert(addr uint64) {
+	vpn := addr >> t.cfg.PageLog
+	t.seq++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	if v := &t.entries[victim]; v.valid {
+		delete(t.index, v.vpn)
+	}
+	t.entries[victim] = entry{vpn: vpn, valid: true, lru: t.seq}
+	t.index[vpn] = victim
+}
+
+// InvalidateAll flushes the TLB.
+func (t *TLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.index = make(map[uint64]int, t.cfg.Entries)
+}
+
+// Hierarchy bundles an L1 TLB with the shared L2 TLB and the walker, and
+// produces the per-side walk counts.
+type Hierarchy struct {
+	L1 *TLB
+	L2 *TLB
+	// Walks counts page-table walks (the xTLB_WALK PMU event).
+	Walks uint64
+	// WalkCycles accumulates the latency contributed by walks.
+	WalkCycles uint64
+}
+
+// NewHierarchy builds an L1+shared-L2 translation path.
+func NewHierarchy(l1 Config, l2 *TLB) *Hierarchy {
+	return &Hierarchy{L1: New(l1), L2: l2}
+}
+
+// Translate runs the full translation for addr and returns the added
+// latency in cycles (0 for an L1 hit).
+func (h *Hierarchy) Translate(addr uint64) uint64 {
+	if h.L1.Lookup(addr) {
+		return 0
+	}
+	if h.L2.Lookup(addr) {
+		h.L1.Insert(addr)
+		return 5 // L2 TLB hit latency
+	}
+	// Page-table walk.
+	h.Walks++
+	h.WalkCycles += WalkLatency
+	h.L2.Insert(addr)
+	h.L1.Insert(addr)
+	return WalkLatency
+}

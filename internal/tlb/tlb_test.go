@@ -1,0 +1,108 @@
+package tlb
+
+import "testing"
+
+func TestLookupInsert(t *testing.T) {
+	tb := New(Config{Name: "t", Entries: 4, PageLog: 12})
+	if tb.Lookup(0x1000) {
+		t.Fatal("cold lookup hit")
+	}
+	tb.Insert(0x1000)
+	if !tb.Lookup(0x1fff) {
+		t.Fatal("same-page lookup missed")
+	}
+	if tb.Lookup(0x2000) {
+		t.Fatal("next-page lookup hit")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tb := New(Config{Name: "t", Entries: 2, PageLog: 12})
+	tb.Insert(0x1000)
+	tb.Insert(0x2000)
+	tb.Lookup(0x1000) // 1 is MRU
+	tb.Insert(0x3000) // evicts page 2
+	if !tb.Lookup(0x1000) {
+		t.Fatal("MRU entry evicted")
+	}
+	if tb.Lookup(0x2000) {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	l2 := New(L2Config)
+	h := NewHierarchy(L1DConfig, l2)
+	// Cold: full walk.
+	if lat := h.Translate(0x10000); lat != WalkLatency {
+		t.Fatalf("cold translate latency = %d, want %d", lat, WalkLatency)
+	}
+	if h.Walks != 1 {
+		t.Fatalf("walks = %d", h.Walks)
+	}
+	// Warm L1: free.
+	if lat := h.Translate(0x10008); lat != 0 {
+		t.Fatalf("L1-hit latency = %d", lat)
+	}
+	if h.Walks != 1 {
+		t.Fatal("walk counted on hit")
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	l2 := New(L2Config)
+	h := NewHierarchy(Config{Name: "tiny", Entries: 2, PageLog: 12}, l2)
+	h.Translate(0x1000)
+	h.Translate(0x2000)
+	h.Translate(0x3000) // evicts 0x1000 from tiny L1, still in L2
+	lat := h.Translate(0x1000)
+	if lat != 5 {
+		t.Fatalf("L2-hit latency = %d, want 5", lat)
+	}
+	if h.Walks != 3 {
+		t.Fatalf("walks = %d, want 3", h.Walks)
+	}
+}
+
+func TestFootprintDrivesWalks(t *testing.T) {
+	// A working set of more pages than L2 TLB entries must keep walking.
+	l2 := New(Config{Name: "l2", Entries: 64, PageLog: 12})
+	h := NewHierarchy(Config{Name: "l1", Entries: 8, PageLog: 12}, l2)
+	pages := 256
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < pages; p++ {
+			h.Translate(uint64(p) << 12)
+		}
+	}
+	if h.Walks < uint64(pages) {
+		t.Errorf("walks = %d, want >= %d (thrash)", h.Walks, pages)
+	}
+	small := NewHierarchy(Config{Name: "l1", Entries: 8, PageLog: 12}, New(Config{Name: "l2", Entries: 1024, PageLog: 12}))
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < pages; p++ {
+			small.Translate(uint64(p) << 12)
+		}
+	}
+	if small.Walks != uint64(pages) {
+		t.Errorf("fitting working set: walks = %d, want %d", small.Walks, pages)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	tb := New(Config{Name: "t", Entries: 4, PageLog: 12})
+	tb.Insert(0x1000)
+	tb.InvalidateAll()
+	if tb.Lookup(0x1000) {
+		t.Fatal("entry survived invalidation")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	tb := New(Config{Name: "t", Entries: 4, PageLog: 12})
+	tb.Lookup(0x1000) // miss
+	tb.Insert(0x1000)
+	tb.Lookup(0x1000) // hit
+	if tb.Stats.Accesses != 2 || tb.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", tb.Stats)
+	}
+}

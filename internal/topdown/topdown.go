@@ -1,0 +1,104 @@
+// Package topdown implements the hierarchical top-down performance
+// analysis methodology (Yasin 2014; Arm Neoverse N1 performance analysis
+// methodology) as the paper applies it to Morello in §3.1 and §4.4: the
+// level-1 decomposition of pipeline activity into Retiring, Bad
+// Speculation, Frontend Bound and Backend Bound, and the level-2 drill-down
+// of Backend Bound into Memory Bound (split L1 / L2 / external memory) and
+// Core Bound.
+package topdown
+
+import (
+	"fmt"
+	"strings"
+
+	"cherisim/internal/metrics"
+	"cherisim/internal/pmu"
+)
+
+// Breakdown is the full two-level decomposition for one run, with every
+// value expressed as a fraction of the analysis basis (level-1 categories
+// follow the paper's Table 1 formulas; level-2 splits are fractions of
+// total cycles).
+type Breakdown struct {
+	Retiring      float64
+	BadSpec       float64
+	FrontendBound float64
+	BackendBound  float64
+
+	// Level 2: Backend Bound = MemoryBound + CoreBound.
+	MemoryBound float64
+	CoreBound   float64
+
+	// Level 3: MemoryBound = L1Bound + L2Bound + ExtMemBound.
+	L1Bound     float64
+	L2Bound     float64
+	ExtMemBound float64
+
+	// Frontend refinement: the share of frontend stalls caused by
+	// Morello's PCC-bounds-unaware predictor (zero under the benchmark
+	// ABI or a capability-aware predictor).
+	PCCStallShare float64
+}
+
+// Analyze computes the breakdown from a counter file.
+func Analyze(c *pmu.Counters) Breakdown {
+	m := metrics.Compute(c)
+	b := Breakdown{
+		Retiring:      m.Retiring,
+		BadSpec:       m.BadSpec,
+		FrontendBound: m.FrontendBound,
+		BackendBound:  m.BackendBound,
+	}
+	cyc := float64(c.Get(pmu.CPU_CYCLES))
+	if cyc == 0 {
+		return b
+	}
+	b.MemoryBound = float64(c.Get(pmu.STALL_BACKEND_MEM)) / cyc
+	b.CoreBound = float64(c.Get(pmu.STALL_BACKEND_CORE)) / cyc
+	b.L1Bound = float64(c.Get(pmu.STALL_BACKEND_MEM_L1D)) / cyc
+	b.L2Bound = float64(c.Get(pmu.STALL_BACKEND_MEM_L2D)) / cyc
+	b.ExtMemBound = float64(c.Get(pmu.STALL_BACKEND_MEM_EXT)) / cyc
+	if fe := c.Get(pmu.STALL_FRONTEND); fe > 0 {
+		b.PCCStallShare = float64(c.Get(pmu.PCC_STALL_CYCLES)) / float64(fe)
+	}
+	return b
+}
+
+// DominantBottleneck names the level-1 category that dominates, applying
+// the methodology's drill-down rule (only descend into the largest).
+func (b Breakdown) DominantBottleneck() string {
+	best, name := b.Retiring, "retiring"
+	if b.BadSpec > best {
+		best, name = b.BadSpec, "bad-speculation"
+	}
+	if b.FrontendBound > best {
+		best, name = b.FrontendBound, "frontend-bound"
+	}
+	if b.BackendBound > best {
+		best, name = b.BackendBound, "backend-bound"
+	}
+	_ = best
+	if name == "backend-bound" {
+		if b.MemoryBound >= b.CoreBound {
+			return "backend-bound/memory"
+		}
+		return "backend-bound/core"
+	}
+	return name
+}
+
+// String renders the breakdown as an indented report in the style of the
+// paper's Table 4 rows.
+func (b Breakdown) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Retiring        %6.3f\n", b.Retiring)
+	fmt.Fprintf(&s, "Bad Speculation %6.3f\n", b.BadSpec)
+	fmt.Fprintf(&s, "Frontend Bound  %6.3f  (PCC-stall share %5.3f)\n", b.FrontendBound, b.PCCStallShare)
+	fmt.Fprintf(&s, "Backend Bound   %6.3f\n", b.BackendBound)
+	fmt.Fprintf(&s, "  + Memory Bound %6.3f\n", b.MemoryBound)
+	fmt.Fprintf(&s, "      - L1 Bound     %6.3f\n", b.L1Bound)
+	fmt.Fprintf(&s, "      - L2 Bound     %6.3f\n", b.L2Bound)
+	fmt.Fprintf(&s, "      - ExtMem Bound %6.3f\n", b.ExtMemBound)
+	fmt.Fprintf(&s, "  + Core Bound   %6.3f\n", b.CoreBound)
+	return s.String()
+}

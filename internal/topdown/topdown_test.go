@@ -1,0 +1,105 @@
+package topdown
+
+import (
+	"strings"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/pmu"
+)
+
+func TestAnalyzeSplitsConsistent(t *testing.T) {
+	var c pmu.Counters
+	c.Add(pmu.CPU_CYCLES, 10000)
+	c.Add(pmu.STALL_FRONTEND, 500)
+	c.Add(pmu.STALL_BACKEND, 4000)
+	c.Add(pmu.STALL_BACKEND_MEM, 3000)
+	c.Add(pmu.STALL_BACKEND_CORE, 1000)
+	c.Add(pmu.STALL_BACKEND_MEM_L1D, 200)
+	c.Add(pmu.STALL_BACKEND_MEM_L2D, 300)
+	c.Add(pmu.STALL_BACKEND_MEM_EXT, 2500)
+	c.Add(pmu.PCC_STALL_CYCLES, 100)
+	c.Add(pmu.INST_SPEC, 1000)
+	c.Add(pmu.DP_SPEC, 900)
+
+	b := Analyze(&c)
+	if b.MemoryBound != 0.3 || b.CoreBound != 0.1 {
+		t.Errorf("level-2 split: mem %v core %v", b.MemoryBound, b.CoreBound)
+	}
+	if got := b.L1Bound + b.L2Bound + b.ExtMemBound; got != b.MemoryBound {
+		t.Errorf("level-3 sum %v != memory bound %v", got, b.MemoryBound)
+	}
+	if b.PCCStallShare != 0.2 {
+		t.Errorf("PCC share = %v", b.PCCStallShare)
+	}
+}
+
+func TestDominantBottleneck(t *testing.T) {
+	b := Breakdown{Retiring: 0.5, BackendBound: 0.68, MemoryBound: 0.37, CoreBound: 0.31}
+	if got := b.DominantBottleneck(); got != "backend-bound/memory" {
+		t.Errorf("dominant = %q", got)
+	}
+	b2 := Breakdown{Retiring: 0.5, BackendBound: 0.6, MemoryBound: 0.2, CoreBound: 0.4}
+	if got := b2.DominantBottleneck(); got != "backend-bound/core" {
+		t.Errorf("dominant = %q", got)
+	}
+	b3 := Breakdown{Retiring: 0.7, FrontendBound: 0.1, BackendBound: 0.1}
+	if got := b3.DominantBottleneck(); got != "retiring" {
+		t.Errorf("dominant = %q", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := Breakdown{Retiring: 0.55, BackendBound: 0.3, MemoryBound: 0.2, CoreBound: 0.1}
+	s := b.String()
+	for _, want := range []string{"Retiring", "Memory Bound", "ExtMem Bound", "Core Bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLiveMachineIdentity(t *testing.T) {
+	// End-to-end: a real run's breakdown is internally consistent.
+	m := core.New(abi.Purecap)
+	m.Func("main", 1024, 64)
+	err := m.Run(func(m *core.Machine) {
+		arr := m.Alloc(2 << 20)
+		for i := uint64(0); i < 1<<14; i++ {
+			m.Load(arr+core.Ptr((i*193)%(2<<20)), 8)
+			m.ALU(2)
+			m.Branch(i%5 == 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Analyze(&m.C)
+	sum := b.Retiring + b.BadSpec + b.FrontendBound + b.BackendBound
+	// The paper's formulation clamps BadSpec at 0, so the sum is >= the
+	// true identity but each term must be a valid fraction.
+	for name, v := range map[string]float64{
+		"retiring": b.Retiring, "badspec": b.BadSpec,
+		"frontend": b.FrontendBound, "backend": b.BackendBound,
+		"memory": b.MemoryBound, "core": b.CoreBound,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	if b.BadSpec > 0 && (sum < 0.99 || sum > 1.01) {
+		t.Errorf("unclamped identity violated: sum = %v", sum)
+	}
+	if diff := b.MemoryBound + b.CoreBound - b.BackendBound; diff > 0.01 || diff < -0.01 {
+		t.Errorf("backend split mismatch: %v", diff)
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	var c pmu.Counters
+	b := Analyze(&c)
+	if b.MemoryBound != 0 || b.PCCStallShare != 0 {
+		t.Error("zero-cycle analysis not zero")
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Analysis summarises an access stream's locality character.
+type Analysis struct {
+	// Accesses is the analysed event count.
+	Accesses int
+	// UniqueLines is the distinct 64-byte-line footprint.
+	UniqueLines int
+	// FootprintBytes is UniqueLines * 64.
+	FootprintBytes uint64
+	// SequentialShare is the fraction of accesses that continue one of
+	// several concurrently-tracked sequential line streams (interleaved
+	// streams, as in matrix kernels, still count — mirroring how hardware
+	// prefetchers see them).
+	SequentialShare float64
+	// PointerChaseShare is the fraction of capability loads among loads —
+	// a locality-independent measure of pointer intensity.
+	PointerChaseShare float64
+	// ReuseP50/P90 are line reuse-distance percentiles (distinct lines
+	// touched between consecutive uses of the same line); -1 when a line
+	// is never reused. Reuse distance below a cache's line capacity
+	// predicts a hit in that cache.
+	ReuseP50, ReuseP90 int
+	// ColdShare is the fraction of accesses that touch a line for the
+	// first time (compulsory misses).
+	ColdShare float64
+	// TopStrides maps the most common successive-address deltas to their
+	// share of accesses.
+	TopStrides []StrideShare
+}
+
+// StrideShare is one stride's share of the access stream.
+type StrideShare struct {
+	Stride int64
+	Share  float64
+}
+
+// Analyze computes the locality summary of the retained events.
+func Analyze(events []Event) Analysis {
+	var a Analysis
+	a.Accesses = len(events)
+	if len(events) == 0 {
+		return a
+	}
+
+	// Reuse distance via an ordered last-use structure: approximate stack
+	// distance using per-line last-access index and a Fenwick tree over
+	// "still-resident" markers.
+	n := len(events)
+	lastUse := make(map[uint64]int, 1024)
+	alive := newFenwick(n + 1)
+	var distances []int
+
+	var prevAddr uint64
+	var heads [8]uint64
+	headNext := 0
+	seqCount := 0
+	strides := map[int64]int{}
+	var loads, capLoads uint64
+
+	for i, e := range events {
+		line := e.Addr >> 6
+		if i > 0 {
+			strides[int64(e.Addr)-int64(prevAddr)]++
+		}
+		prevAddr = e.Addr
+		matched := false
+		for h := range heads {
+			if line == heads[h] || line == heads[h]+1 {
+				heads[h] = line
+				matched = true
+				break
+			}
+		}
+		if matched {
+			if i > 0 {
+				seqCount++
+			}
+		} else {
+			heads[headNext] = line
+			headNext = (headNext + 1) % len(heads)
+		}
+
+		switch e.Kind {
+		case KindLoad:
+			loads++
+		case KindCapLoad:
+			loads++
+			capLoads++
+		}
+
+		if j, seen := lastUse[line]; seen {
+			// Distinct lines touched since the previous use of this line.
+			d := alive.sum(j+1, i)
+			distances = append(distances, d)
+			alive.add(j, -1)
+		}
+		lastUse[line] = i
+		alive.add(i, 1)
+	}
+
+	a.UniqueLines = len(lastUse)
+	a.FootprintBytes = uint64(a.UniqueLines) * 64
+	if n > 1 {
+		a.SequentialShare = float64(seqCount) / float64(n-1)
+	}
+	if loads > 0 {
+		a.PointerChaseShare = float64(capLoads) / float64(loads)
+	}
+	a.ColdShare = float64(a.UniqueLines) / float64(n)
+
+	if len(distances) > 0 {
+		sort.Ints(distances)
+		a.ReuseP50 = distances[len(distances)/2]
+		a.ReuseP90 = distances[int(math.Min(float64(len(distances)-1), float64(len(distances))*0.9))]
+	} else {
+		a.ReuseP50, a.ReuseP90 = -1, -1
+	}
+
+	type sv struct {
+		stride int64
+		count  int
+	}
+	var svs []sv
+	for s, c := range strides {
+		svs = append(svs, sv{s, c})
+	}
+	sort.Slice(svs, func(i, j int) bool {
+		if svs[i].count != svs[j].count {
+			return svs[i].count > svs[j].count
+		}
+		return svs[i].stride < svs[j].stride
+	})
+	for i, s := range svs {
+		if i == 4 {
+			break
+		}
+		a.TopStrides = append(a.TopStrides, StrideShare{Stride: s.stride, Share: float64(s.count) / float64(n-1)})
+	}
+	return a
+}
+
+// String renders the analysis as a short report.
+func (a Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses            %d\n", a.Accesses)
+	fmt.Fprintf(&b, "unique 64B lines    %d (%.1f KiB footprint)\n", a.UniqueLines, float64(a.FootprintBytes)/1024)
+	fmt.Fprintf(&b, "sequential share    %.1f%%\n", a.SequentialShare*100)
+	fmt.Fprintf(&b, "pointer-chase share %.1f%% of loads\n", a.PointerChaseShare*100)
+	fmt.Fprintf(&b, "cold-miss share     %.1f%%\n", a.ColdShare*100)
+	fmt.Fprintf(&b, "reuse distance      p50=%d p90=%d lines\n", a.ReuseP50, a.ReuseP90)
+	for _, s := range a.TopStrides {
+		fmt.Fprintf(&b, "stride %+8d     %.1f%%\n", s.Stride, s.Share*100)
+	}
+	return b.String()
+}
+
+// fenwick is a binary indexed tree over int counts.
+type fenwick struct {
+	t []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{t: make([]int, n+1)} }
+
+func (f *fenwick) add(i, v int) {
+	for i++; i < len(f.t); i += i & -i {
+		f.t[i] += v
+	}
+}
+
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & -i {
+		s += f.t[i]
+	}
+	return s
+}
+
+// sum returns the count in [lo, hi] inclusive.
+func (f *fenwick) sum(lo, hi int) int {
+	if hi < lo {
+		return 0
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}

@@ -1,0 +1,58 @@
+package trace_test
+
+import (
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/trace"
+	"cherisim/internal/workloads"
+)
+
+func TestMachineTracingEndToEnd(t *testing.T) {
+	w, err := workloads.ByName("520.omnetpp_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyse := func(a abi.ABI) trace.Analysis {
+		cfg := core.DefaultConfig(a)
+		m := core.NewMachine(cfg)
+		m.Tracer = trace.New(200000)
+		if err := m.Run(func(m *core.Machine) { w.Run(m, 1) }); err != nil {
+			t.Fatal(err)
+		}
+		if m.Tracer.Total() == 0 {
+			t.Fatal("no accesses traced")
+		}
+		return trace.Analyze(m.Tracer.Events())
+	}
+	hy := analyse(abi.Hybrid)
+	pc := analyse(abi.Purecap)
+
+	// The paper's §4.7 mechanism, observed directly in the trace: purecap
+	// touches a larger footprint and chases pointers where hybrid chased
+	// integers.
+	if pc.PointerChaseShare <= hy.PointerChaseShare {
+		t.Errorf("pointer-chase share: purecap %.2f <= hybrid %.2f", pc.PointerChaseShare, hy.PointerChaseShare)
+	}
+	if pc.FootprintBytes <= hy.FootprintBytes {
+		t.Errorf("footprint: purecap %d <= hybrid %d", pc.FootprintBytes, hy.FootprintBytes)
+	}
+}
+
+func TestLlamaTraceIsSequential(t *testing.T) {
+	// §5: "sequential reads dominate its access patterns".
+	w, err := workloads.ByName("llama-matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.New(abi.Purecap)
+	m.Tracer = trace.New(100000)
+	if err := m.Run(func(m *core.Machine) { w.Run(m, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Analyze(m.Tracer.Events())
+	if a.SequentialShare < 0.3 {
+		t.Errorf("llama sequential share = %.2f, expected stream-dominated", a.SequentialShare)
+	}
+}

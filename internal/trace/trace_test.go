@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Record(KindLoad, 0x1000, 8, 0) // must not panic
+}
+
+func TestCollectorBounds(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 10; i++ {
+		c.Record(KindLoad, uint64(i*64), 8, 0)
+	}
+	if len(c.Events()) != 3 {
+		t.Errorf("retained %d events, want 3", len(c.Events()))
+	}
+	if c.Total() != 10 || c.Dropped() != 7 {
+		t.Errorf("total/dropped = %d/%d", c.Total(), c.Dropped())
+	}
+	if c.KindCount(KindLoad) != 10 {
+		t.Error("aggregate counts must keep accumulating past the bound")
+	}
+}
+
+func TestAnalyzeSequentialStream(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 1000; i++ {
+		c.Record(KindLoad, uint64(i*8), 8, 0)
+	}
+	a := Analyze(c.Events())
+	if a.SequentialShare < 0.95 {
+		t.Errorf("sequential stream share = %.2f", a.SequentialShare)
+	}
+	if len(a.TopStrides) == 0 || a.TopStrides[0].Stride != 8 {
+		t.Errorf("top stride = %+v", a.TopStrides)
+	}
+	if a.UniqueLines != 125 {
+		t.Errorf("unique lines = %d, want 125", a.UniqueLines)
+	}
+}
+
+func TestAnalyzeReuseDistance(t *testing.T) {
+	// Access lines 0..9 cyclically: reuse distance is exactly 9 for every
+	// reuse (nine distinct other lines between consecutive uses).
+	c := New(0)
+	for pass := 0; pass < 20; pass++ {
+		for l := 0; l < 10; l++ {
+			c.Record(KindLoad, uint64(l*64), 8, 0)
+		}
+	}
+	a := Analyze(c.Events())
+	if a.ReuseP50 != 9 || a.ReuseP90 != 9 {
+		t.Errorf("reuse p50/p90 = %d/%d, want 9/9", a.ReuseP50, a.ReuseP90)
+	}
+}
+
+func TestAnalyzeNoReuse(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 50; i++ {
+		c.Record(KindStore, uint64(i)*128, 8, 0)
+	}
+	a := Analyze(c.Events())
+	if a.ReuseP50 != -1 {
+		t.Errorf("reuse on a no-reuse stream: %d", a.ReuseP50)
+	}
+	if a.ColdShare != 1 {
+		t.Errorf("cold share = %.2f, want 1", a.ColdShare)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Accesses != 0 {
+		t.Error("empty analysis nonzero")
+	}
+}
+
+func TestPointerChaseShare(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 60; i++ {
+		if i%3 == 0 {
+			c.Record(KindCapLoad, uint64(i*64), 16, 0)
+		} else {
+			c.Record(KindLoad, uint64(i*64), 8, 0)
+		}
+	}
+	a := Analyze(c.Events())
+	if a.PointerChaseShare < 0.32 || a.PointerChaseShare > 0.35 {
+		t.Errorf("pointer-chase share = %.3f, want ~1/3", a.PointerChaseShare)
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	c := New(0)
+	c.Record(KindLoad, 0, 8, 0)
+	c.Record(KindLoad, 64, 8, 1)
+	out := Analyze(c.Events()).String()
+	for _, want := range []string{"accesses", "unique 64B lines", "reuse distance", "stride"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

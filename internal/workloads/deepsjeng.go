@@ -1,0 +1,142 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// deepsjeng models 531.deepsjeng_r / 631.deepsjeng_s: alpha-beta game-tree
+// search with a large transposition table. The inner loop is evaluation
+// arithmetic over a cache-resident board plus one or two random probes per
+// node into a table far larger than L2 (the source of its 19-23 % L2 miss
+// rate), with search recursion and hard-to-predict cutoff branches
+// (~3 % branch MR). Pointer activity is moderate (cap load density ~28 %):
+// move lists and search-stack structures hold pointers.
+func deepsjeng(ttEntries, nodes int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		fnSearch := m.Func("search", 3584, 224)
+		fnEval := m.Func("eval", 4096, 160)
+		fnMovegen := m.Func("movegen", 2048, 128)
+
+		r := newRNG(0x0531)
+
+		// Transposition table: 16-byte entries, randomly probed.
+		ttEntry := uint64(16)
+		tt := m.Alloc(uint64(ttEntries) * ttEntry)
+
+		// Board: 64 squares of piece state, always cache-hot.
+		board := m.Alloc(64 * 8)
+		for i := 0; i < 64; i++ {
+			m.Store(board+core.Ptr(i*8), uint64(i%13), 8)
+		}
+
+		// Search stack: one record per ply with pointers to the move list
+		// and the previous ply. Move lists hold pointers to piece records
+		// (half) and packed scores (half), as sjeng's do.
+		plyL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldU64, core.FieldU32)
+		pieceL := m.Layout(core.FieldU64, core.FieldU64, core.FieldU32)
+		pieces := make([]core.Ptr, 32)
+		for i := range pieces {
+			pieces[i] = m.AllocRecord(pieceL)
+		}
+		slot := m.ABI.PointerSize()
+		plies := make([]core.Ptr, 64)
+		moveLists := make([]core.Ptr, 64)
+		for i := range plies {
+			plies[i] = m.AllocRecord(plyL)
+			moveLists[i] = m.Alloc(64 * slot)
+			m.StorePtr(plyL.Field(plies[i], 1), moveLists[i])
+			if i > 0 {
+				m.StorePtr(plyL.Field(plies[i], 0), plies[i-1])
+			}
+		}
+
+		hash := r.next()
+		var visit func(depth int)
+		visit = func(depth int) {
+			m.Call(fnSearch, false)
+			defer m.Return()
+
+			// Transposition-table probe: a random 16-byte load from a
+			// table much larger than L2.
+			idx := hash % uint64(ttEntries)
+			e := m.LoadDep(tt+core.Ptr(idx*ttEntry), 8)
+			m.ALU(3) // key compare, depth compare
+			if e&7 == 0 && depth > 0 {
+				m.BranchAt(101, true) // tt cutoff path sometimes
+			} else {
+				m.BranchAt(102, false)
+			}
+
+			// Current ply record: pointer loads to the move list.
+			ply := plies[depth%64]
+			ml := m.LoadPtr(plyL.Field(ply, 1))
+			m.LoadPtr(plyL.Field(ply, 0))
+
+			// Move generation: board scan + arithmetic.
+			m.Call(fnMovegen, false)
+			nMoves := 8 + r.intn(24)
+			for mv := 0; mv < nMoves; mv++ {
+				m.Load(board+core.Ptr((mv%64)*8), 8)
+				m.ALU(3) // attack masks, scoring
+				m.BranchAt(104, mv+1 < nMoves)
+				if mv%4 == 0 {
+					m.StorePtr(ml+core.Ptr(uint64(mv)*slot), pieces[mv%32])
+				} else {
+					m.Store(ml+core.Ptr(uint64(mv)*slot), uint64(mv), 8)
+				}
+			}
+			m.Return()
+
+			// Evaluation: heavy integer arithmetic over the hot board.
+			m.Call(fnEval, false)
+			for sq := 0; sq < 16; sq++ {
+				m.Load(board+core.Ptr(sq*8), 8)
+				m.ALU(5)
+				m.BranchAt(105, sq < 15)
+			}
+			// Re-examine the best moves through their piece records.
+			for mv := 0; mv < 4 && mv < nMoves; mv += 4 {
+				p := m.LoadPtr(ml + core.Ptr(uint64(mv)*slot))
+				m.Load(pieceL.Field(p, 0), 8)
+				m.ALU(3)
+			}
+			m.Return()
+
+			// Alpha-beta recursion with unpredictable cutoffs.
+			if depth > 0 {
+				children := 2 + r.intn(3)
+				for c := 0; c < children; c++ {
+					hash = hash*6364136223846793005 + uint64(c)
+					cut := r.chance(1, 3)
+					m.BranchAt(103, cut)
+					if cut {
+						break
+					}
+					visit(depth - 1)
+				}
+			}
+			// Store the result back into the TT.
+			m.Store(tt+core.Ptr(idx*ttEntry), hash, 8)
+		}
+
+		for n := 0; n < nodes*scale; n++ {
+			hash = r.next()
+			visit(4)
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "531.deepsjeng_r",
+		Desc:       "alpha-beta tree search and pattern recognition",
+		PaperMI:    0.489,
+		PaperTimes: [3]float64{67.42, 73.64, 78.85},
+		Selected:   true,
+		Run:        deepsjeng(1<<20, 110),
+	})
+	register(&Workload{
+		Name:    "631.deepsjeng_s",
+		Desc:    "alpha-beta tree search (speed variant)",
+		PaperMI: 0.496,
+		Run:     deepsjeng(1<<21, 100),
+	})
+}

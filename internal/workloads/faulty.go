@@ -1,0 +1,135 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// This file implements the paper's Appendix Table 5 "compiled but
+// crashing" benchmarks: 502.gcc_r and 505.mcf_r build under all three ABIs
+// but trigger an in-address-space security exception under the purecap and
+// benchmark ABIs while the hybrid ABI executes without errors. The cause
+// in real ports is C code that launders pointers through integers or
+// overwrites capability-holding memory with plain data — idioms that are
+// silently tolerated by AArch64 and trapped by CHERI. The kernels below
+// reproduce exactly that: they run to completion under hybrid and fault
+// with a capability violation under the capability ABIs.
+
+// gcc models 502.gcc_r's register-allocation phase: pointer-linked RTL
+// expressions with a pointer-to-integer round trip in its bitmap code (the
+// classic XOR-linked/low-bit-tagging idiom GCC uses), which strips the
+// capability tag under purecap.
+func gcc(exprs int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		m.Func("ira_color", 4096, 256)
+
+		r := newRNG(0x0502)
+
+		// RTL node: {op1 *Node, op2 *Node, code u32}.
+		rtlL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldU32)
+		nodes := make([]core.Ptr, exprs)
+		for i := range nodes {
+			nodes[i] = m.AllocRecord(rtlL)
+			m.StorePtr(rtlL.Field(nodes[i], 0), 0)
+			m.StorePtr(rtlL.Field(nodes[i], 1), 0)
+			if i > 0 {
+				m.StorePtr(rtlL.Field(nodes[i-1], 0), nodes[i])
+			}
+			m.ALU(6)
+		}
+
+		// Allocation passes over the expression chains.
+		for pass := 0; pass < 3*scale; pass++ {
+			for p := nodes[0]; p != 0; p = m.LoadPtr(rtlL.Field(p, 0)) {
+				m.Load(rtlL.Field(p, 2), 4)
+				m.ALU(8)
+				m.BranchAt(2001, true)
+			}
+			m.BranchAt(2002, false)
+		}
+
+		// The porting bug: GCC tags pointer low bits by storing the
+		// pointer value through an integer slot, then reloads and
+		// dereferences it. Under hybrid this is byte-identical; under the
+		// capability ABIs the integer store wrote an untagged word, so the
+		// capability reload finds the tag clear and the dereference faults.
+		slot := m.Alloc(16)
+		target := nodes[exprs/2]
+		m.Store(slot, uint64(target)|1, 8)  // integer store of ptr|tag-bit
+		laundered := m.LoadPtrChecked(slot) // hybrid: fine; purecap: tag fault
+		laundered = core.Ptr(uint64(laundered) &^ 1)
+		m.LoadPtr(rtlL.Field(laundered, 0))
+		_ = r
+	}
+}
+
+// mcf models 505.mcf_r's network-simplex arc scan: a large arc array whose
+// node references the real benchmark keeps as byte offsets from a base
+// pointer, re-materialised by out-of-bounds pointer arithmetic that CHERI's
+// per-allocation bounds reject.
+func mcf(arcs int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		m.Func("primal_bea_mpp", 3072, 192)
+
+		r := newRNG(0x0505)
+
+		// Arc: {cost u64, tail u64 (node offset), head u64 (node offset)}.
+		arcL := m.Layout(core.FieldU64, core.FieldU64, core.FieldU64)
+		arcArr := m.AllocArray(uint64(arcs), arcL.Size())
+		nodeArr := m.Alloc(uint64(arcs/4) * 32)
+
+		for i := 0; i < arcs; i++ {
+			a := arcL.Elem(arcArr, uint64(i))
+			m.Store(arcL.Field(a, 0), r.next()%1000, 8)
+			m.Store(arcL.Field(a, 1), uint64(r.intn(arcs/4))*32, 8)
+			m.Store(arcL.Field(a, 2), uint64(r.intn(arcs/4))*32, 8)
+		}
+
+		// Pricing passes.
+		for pass := 0; pass < 2*scale; pass++ {
+			for i := 0; i < arcs; i++ {
+				a := arcL.Elem(arcArr, uint64(i))
+				m.Load(arcL.Field(a, 0), 8)
+				t := m.LoadDep(arcL.Field(a, 1), 8)
+				m.Load(nodeArr+core.Ptr(t), 8)
+				m.ALU(5)
+				m.BranchAt(2101, i+1 < arcs)
+			}
+		}
+
+		// The porting bug: mcf computes a node pointer by offsetting from
+		// the *arc array* base across allocation boundaries (its arcs and
+		// nodes were carved from one malloc in the original code, two under
+		// the port). AArch64 dereferences it happily; the capability the
+		// address was derived from — the arc array's — faults on bounds.
+		stride := int64(arcL.Size())
+		beyond := core.Ptr(int64(arcArr) + stride*int64(arcs) + 4096)
+		m.LoadVia(arcArr, beyond, 8) // hybrid: silently reads; purecap: bounds fault
+	}
+}
+
+// faultyRegistry holds the compiled-but-crashing benchmarks, kept separate
+// from the 20 runnable workloads.
+var faultyRegistry []*Workload
+
+func registerFaulty(w *Workload) {
+	faultyRegistry = append(faultyRegistry, w)
+	// Also resolvable by name so tools can run them and observe the fault.
+	registry[w.Name] = w
+	faultySet[w.Name] = true
+}
+
+// Faulty returns the Appendix Table 5 benchmarks that compile under every
+// ABI but crash with an in-address-space security exception under the
+// capability ABIs. They are excluded from All().
+func Faulty() []*Workload { return append([]*Workload(nil), faultyRegistry...) }
+
+func init() {
+	registerFaulty(&Workload{
+		Name: "502.gcc_r",
+		Desc: "C optimizing compiler (compiles; security exception under purecap/benchmark)",
+		Run:  gcc(4000),
+	})
+	registerFaulty(&Workload{
+		Name: "505.mcf_r",
+		Desc: "vehicle scheduling (compiles; security exception under purecap/benchmark)",
+		Run:  mcf(8000),
+	})
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// leela models 541.leela_r / 641.leela_s: Monte-Carlo tree search for Go.
+// The profile mixes a pointer-linked UCT tree (expansion walks child lists
+// — capability loads under purecap), floating-point UCT scoring
+// (sqrt/log), and random playouts whose move choices defeat the branch
+// predictor — leela has the paper's highest branch misprediction rate
+// (~7.3 %).
+func leela(playouts int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		fnSelect := m.Func("UCTNode::uct_select_child", 1280, 96)
+		fnPlayout := m.Func("Playout::run", 2560, 192)
+		fnUpdate := m.Func("UCTNode::update", 768, 64)
+
+		r := newRNG(0x0541)
+
+		// UCT node: {firstChild, nextSibling *; visits u64, wins u64,
+		// move u32}.
+		nodeL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldU64, core.FieldU64, core.FieldU32)
+		root := m.AllocRecord(nodeL)
+
+		// 19x19 board, cache-hot.
+		board := m.Alloc(19 * 19 * 4)
+
+		expand := func(n core.Ptr, fanout int) {
+			var prev core.Ptr
+			for c := 0; c < fanout; c++ {
+				child := m.AllocRecord(nodeL)
+				m.Store(nodeL.Field(child, 4), uint64(r.intn(361)), 4)
+				if prev == 0 {
+					m.StorePtr(nodeL.Field(n, 0), child)
+				} else {
+					m.StorePtr(nodeL.Field(prev, 1), child)
+				}
+				prev = child
+			}
+		}
+		expand(root, 8)
+
+		for p := 0; p < playouts*scale; p++ {
+			// Selection: descend the tree maximising UCT score.
+			path := []core.Ptr{root}
+			node := root
+			for depth := 0; depth < 12; depth++ {
+				m.Call(fnSelect, false)
+				best := core.Ptr(0)
+				for c := m.LoadPtr(nodeL.Field(node, 0)); c != 0; c = m.LoadPtr(nodeL.Field(c, 1)) {
+					v := m.LoadDep(nodeL.Field(c, 2), 8)
+					m.LoadDep(nodeL.Field(c, 3), 8)
+					m.FP(4) // win rate + exploration term (sqrt, log, div)
+					take := r.chance(1, 3)
+					m.BranchAt(301, take)
+					if take || best == 0 {
+						best = c
+					}
+					_ = v
+				}
+				m.Return()
+				if best == 0 {
+					m.BranchAt(302, false)
+					break
+				}
+				m.BranchAt(303, true)
+				node = best
+				path = append(path, node)
+			}
+			// Expansion of a leaf once it is visited enough.
+			visits := m.LoadDep(nodeL.Field(node, 2), 8)
+			if visits > 2 && m.LoadPtr(nodeL.Field(node, 0)) == 0 {
+				m.BranchAt(304, true)
+				expand(node, 4+r.intn(8))
+			} else {
+				m.BranchAt(305, false)
+			}
+
+			// Playout: random moves on the hot board; the branch-killer.
+			// The playout policy is dispatched through a function pointer
+			// (a capability jump into the policy library under purecap).
+			m.CallVirtualAt(310, fnPlayout)
+			for mv := 0; mv < 60; mv++ {
+				sq := r.intn(361)
+				v := m.Load(board+core.Ptr(sq*4), 4)
+				m.ALU(2) // liberties/legality arithmetic
+				legal := (v+uint64(sq))%3 != 0
+				m.BranchAt(306, legal) // data-dependent, effectively random
+				if legal {
+					m.Store(board+core.Ptr(sq*4), v+1, 4)
+				}
+			}
+			m.Return()
+
+			// Backup: update statistics along the path.
+			m.Call(fnUpdate, false)
+			win := r.chance(1, 2)
+			for _, n := range path {
+				vv := m.LoadDep(nodeL.Field(n, 2), 8)
+				m.Store(nodeL.Field(n, 2), vv+1, 8)
+				if win {
+					w := m.LoadDep(nodeL.Field(n, 3), 8)
+					m.Store(nodeL.Field(n, 3), w+1, 8)
+				}
+				m.BranchAt(307, win)
+				m.ALU(2)
+			}
+			m.Return()
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "541.leela_r",
+		Desc:       "Monte Carlo tree search and pattern recognition (Go)",
+		PaperMI:    0.565,
+		PaperTimes: [3]float64{97.01, 110.59, 119.46},
+		Selected:   true,
+		TopDown:    true,
+		Run:        leela(2000),
+	})
+	register(&Workload{
+		Name:    "641.leela_s",
+		Desc:    "Monte Carlo tree search (speed variant)",
+		PaperMI: 0.565,
+		Run:     leela(2200),
+	})
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// nab models 544.nab_r / 644.nab_s: molecular modelling with the Nucleic
+// Acid Builder. Its hot loop computes pairwise nonbonded forces over
+// neighbour lists: for each atom, walk the neighbour list and evaluate a
+// distance/Lennard-Jones kernel (~20 FLOPs per pair), inlined as in the
+// real code. Half of each neighbour list stores direct references to atom
+// records (pointer slots — capability loads under purecap, giving nab its
+// ~24 % purecap capability load density) and half stores packed u32
+// indices, matching NAB's mix of pointer- and index-based structures. The
+// FP-heavy pair kernel keeps memory intensity low (MI 0.42) and purecap
+// overhead small (~5 % in the paper).
+func nab(atoms, neighbours, steps int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		m.Func("mme_nonbond", 5120, 256)
+
+		r := newRNG(0x0544)
+
+		// Atom record: {pos x/y/z f64, force f64, charge f64}.
+		atomL := m.Layout(core.FieldF64, core.FieldF64, core.FieldF64,
+			core.FieldF64, core.FieldF64)
+		atomBase := m.AllocArray(uint64(atoms), atomL.Size())
+		atomAt := func(i int) core.Ptr { return atomL.Elem(atomBase, uint64(i)) }
+		atomPtrs := make([]core.Ptr, atoms)
+		for i := range atomPtrs {
+			atomPtrs[i] = atomAt(i)
+		}
+
+		// Neighbour lists: half pointer slots, half u32 indices.
+		slot := m.ABI.PointerSize()
+		half := neighbours / 2
+		ptrLists := make([]core.Ptr, atoms)
+		idxLists := make([]core.Ptr, atoms)
+		for i := range ptrLists {
+			ptrLists[i] = m.Alloc(uint64(half) * slot)
+			idxLists[i] = m.Alloc(uint64(neighbours-half) * 4)
+			for k := 0; k < half; k++ {
+				m.StorePtr(ptrLists[i]+core.Ptr(uint64(k)*slot), atomPtrs[r.intn(atoms)])
+			}
+			for k := 0; k < neighbours-half; k++ {
+				m.Store(idxLists[i]+core.Ptr(k*4), uint64(r.intn(atoms)), 4)
+			}
+		}
+
+		pair := func(other core.Ptr) {
+			m.Load(atomL.Field(other, 0), 8)
+			m.Load(atomL.Field(other, 1), 8)
+			m.Load(atomL.Field(other, 2), 8)
+			// Distance + LJ/Coulomb kernel (inlined in real nab).
+			m.FP(22)
+			m.ALU(2)
+			cutoff := r.chance(1, 5)
+			m.BranchAt(501, cutoff)
+			if !cutoff {
+				f := m.Load(atomL.Field(other, 3), 8)
+				m.Store(atomL.Field(other, 3), f+1, 8)
+			}
+		}
+
+		for s := 0; s < steps*scale; s++ {
+			for i := 0; i < atoms; i++ {
+				self := atomAt(i)
+				m.Load(atomL.Field(self, 0), 8)
+				m.Load(atomL.Field(self, 1), 8)
+				m.Load(atomL.Field(self, 2), 8)
+				for k := 0; k < half; k++ {
+					other := m.LoadPtr(ptrLists[i] + core.Ptr(uint64(k)*slot))
+					pair(other)
+					m.BranchAt(503, k+1 < half)
+				}
+				for k := 0; k < neighbours-half; k++ {
+					idx := m.Load(idxLists[i]+core.Ptr(k*4), 4)
+					m.ALU(1) // index → address
+					pair(atomAt(int(idx) % atoms))
+					m.BranchAt(504, k+1 < neighbours-half)
+				}
+				// Integrate own force.
+				m.FP(6)
+				m.Store(atomL.Field(self, 3), uint64(i), 8)
+				m.BranchAt(502, i+1 < atoms)
+			}
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "544.nab_r",
+		Desc:       "molecular modelling (Nucleic Acid Builder)",
+		PaperMI:    0.420,
+		PaperTimes: [3]float64{99.03, 103.39, 103.92},
+		Selected:   true,
+		Run:        nab(2000, 24, 3),
+	})
+	register(&Workload{
+		Name:    "644.nab_s",
+		Desc:    "molecular modelling (speed variant, pthreads port)",
+		PaperMI: 0.424,
+		Run:     nab(2400, 24, 3),
+	})
+}

@@ -1,0 +1,194 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// omnetpp models 520.omnetpp_r / 620.omnetpp_s: discrete-event simulation
+// of a large Ethernet network. The performance profile of the real
+// benchmark is dominated by its future-event set (a binary heap of message
+// pointers), pointer-rich module/gate objects scattered over a multi-
+// megabyte heap, and constant allocation/deallocation of small message
+// objects — exactly the structure built here. It is the paper's canonical
+// memory-centric workload (MI 1.164) and among the biggest purecap losers
+// (87 % overhead) because nearly every hot-path access is a pointer.
+func omnetpp(modules, events int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		fnSchedule := m.Func("cSimpleModule::scheduleAt", 768, 96)
+		fnHandle := m.Func("cSimpleModule::handleMessage", 1536, 128)
+		fnHeap := m.Func("cEventHeap::shiftup", 640, 64)
+
+		r := newRNG(0x0707)
+
+		// A module: {gateOut *Module, gateIn *Module, queue *Msg,
+		// owner *Module, id u64, state u64}.
+		modL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldPtr, core.FieldPtr, core.FieldU64, core.FieldU64)
+		// A message: {dest *Module, payload *buf, arrival u64, kind u32}.
+		msgL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldU64, core.FieldU32)
+
+		mods := make([]core.Ptr, modules)
+		for i := range mods {
+			mods[i] = m.AllocRecord(modL)
+			m.Store(modL.Field(mods[i], 4), uint64(i), 8)
+			m.StorePtr(modL.Field(mods[i], 3), mods[i])
+		}
+		// Wire a pseudo-random topology.
+		for i := range mods {
+			m.StorePtr(modL.Field(mods[i], 0), mods[r.intn(modules)])
+			m.StorePtr(modL.Field(mods[i], 1), mods[r.intn(modules)])
+		}
+
+		// Future-event set: a binary heap of message pointers stored in
+		// simulated memory (each slot is a pointer slot).
+		heapCap := 4096
+		slot := m.ABI.PointerSize()
+		fes := m.Alloc(uint64(heapCap) * slot)
+		heapLen := 0
+
+		newMsg := func(now uint64) core.Ptr {
+			msg := m.AllocRecord(msgL)
+			payload := m.Alloc(64 + uint64(r.intn(192)))
+			m.StorePtr(msgL.Field(msg, 0), mods[r.intn(modules)])
+			m.StorePtr(msgL.Field(msg, 1), payload)
+			m.Store(msgL.Field(msg, 2), now+uint64(1+r.intn(1000)), 8)
+			m.Store(msgL.Field(msg, 3), uint64(r.intn(8)), 4)
+			return msg
+		}
+
+		at := func(i int) core.Ptr { return fes + core.Ptr(uint64(i)*slot) }
+
+		push := func(msg core.Ptr) {
+			if heapLen == heapCap {
+				return
+			}
+			m.Call(fnHeap, false)
+			m.StorePtr(at(heapLen), msg)
+			i := heapLen
+			heapLen++
+			key := m.LoadDep(msgL.Field(msg, 2), 8)
+			for i > 0 {
+				parent := (i - 1) / 2
+				p := m.LoadPtr(at(parent))
+				pk := m.LoadDep(msgL.Field(p, 2), 8)
+				m.ALU(2)
+				if pk <= key {
+					m.BranchAt(601, false)
+					break
+				}
+				m.BranchAt(602, true)
+				m.StorePtr(at(i), p)
+				i = parent
+			}
+			m.StorePtr(at(i), msg)
+			m.Return()
+		}
+
+		pop := func() core.Ptr {
+			m.Call(fnHeap, false)
+			top := m.LoadPtr(at(0))
+			heapLen--
+			last := m.LoadPtr(at(heapLen))
+			lk := m.LoadDep(msgL.Field(last, 2), 8)
+			i := 0
+			for {
+				l, rr := 2*i+1, 2*i+2
+				if l >= heapLen {
+					m.BranchAt(603, false)
+					break
+				}
+				m.BranchAt(604, true)
+				c := l
+				cp := m.LoadPtr(at(l))
+				ck := m.LoadDep(msgL.Field(cp, 2), 8)
+				if rr < heapLen {
+					rp := m.LoadPtr(at(rr))
+					rk := m.LoadDep(msgL.Field(rp, 2), 8)
+					m.ALU(1)
+					if rk < ck {
+						m.BranchAt(605, true)
+						c, cp, ck = rr, rp, rk
+					} else {
+						m.BranchAt(606, false)
+					}
+				}
+				m.ALU(2)
+				if ck >= lk {
+					m.BranchAt(607, false)
+					break
+				}
+				m.BranchAt(608, true)
+				m.StorePtr(at(i), cp)
+				i = c
+			}
+			m.StorePtr(at(i), last)
+			m.Return()
+			return top
+		}
+
+		// Seed the FES.
+		now := uint64(0)
+		for i := 0; i < 512; i++ {
+			push(newMsg(now))
+		}
+
+		total := events * scale
+		for e := 0; e < total && heapLen > 1; e++ {
+			msg := pop()
+			now = m.LoadDep(msgL.Field(msg, 2), 8)
+			dest := m.LoadPtr(msgL.Field(msg, 0))
+
+			// handleMessage is virtual in OMNeT++: dispatched through the
+			// module's vtable (a capability jump under purecap).
+			m.CallVirtual(fnHandle)
+			// The module parses its packet: a short burst of cache-hot
+			// payload field accesses.
+			payload := m.LoadPtr(msgL.Field(msg, 1))
+			for f := 0; f < 6; f++ {
+				m.Load(payload+core.Ptr(f*8), 8)
+			}
+			m.Store(payload, now, 8)
+			m.Store(payload+8, uint64(e), 8)
+			st := m.LoadDep(modL.Field(dest, 5), 8)
+			m.ALU(3)
+			m.Store(modL.Field(dest, 5), st+1, 8)
+
+			// Forward through a gate and schedule follow-up traffic.
+			gate := m.LoadPtr(modL.Field(dest, 0))
+			m.Load(modL.Field(gate, 4), 8)
+			m.Load(modL.Field(gate, 5), 8)
+			hop := m.LoadPtr(modL.Field(gate, 1))
+			m.Load(modL.Field(hop, 5), 8)
+			m.Call(fnSchedule, false)
+			nm := newMsg(now)
+			push(nm)
+			if r.chance(1, 3) {
+				m.BranchAt(609, true)
+				push(newMsg(now))
+			} else {
+				m.BranchAt(610, false)
+			}
+			m.Return()
+			m.Return()
+
+			// Tear the delivered message down.
+			m.Free(m.LoadPtr(msgL.Field(msg, 1)))
+			m.Free(msg)
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "520.omnetpp_r",
+		Desc:       "discrete event simulation of a large 10 GbE network",
+		PaperMI:    1.164,
+		PaperTimes: [3]float64{81.73, 142.30, 153.21},
+		Selected:   true,
+		TopDown:    true,
+		Run:        omnetpp(30000, 4000),
+	})
+	register(&Workload{
+		Name:    "620.omnetpp_s",
+		Desc:    "discrete event simulation (speed variant)",
+		PaperMI: 1.165,
+		Run:     omnetpp(33000, 4000),
+	})
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// quickjs models the QuickJS engine running the Test262 suite: thousands
+// of small scripts, each parsed into freshly allocated AST/object graphs,
+// executed by an indirect-dispatch bytecode interpreter over shape-based
+// objects, then torn down. Although its instruction mix classifies as
+// compute-leaning (MI 0.68), the paper measures the largest purecap
+// overhead of the whole study (165.9 %): the per-script
+// parse/allocate/execute/teardown cycle is saturated with pointer traffic
+// (capability load density 57 %), its heap churn grows the purecap
+// footprint ~36 %, and the interpreter's wide handler set pressures the
+// L1I cache and TLBs.
+func quickjs(scripts int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		// Interpreter opcode handlers: a big instruction footprint.
+		handlers := make([]*core.Fn, 48)
+		for i := range handlers {
+			handlers[i] = m.Func("JS_CallInternal.op", 768+uint64(i%9)*128, 64)
+		}
+		fnParse := m.Func("js_parse_program", 4096, 256)
+		fnGC := m.Func("JS_RunGC", 2048, 128)
+		fnNewObj := m.Func("JS_NewObject", 1024, 96)
+
+		r := newRNG(0x2023)
+
+		// JS object: {shape *Shape, props *slots, proto *Obj, class u32,
+		// refcount u32}.
+		objL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldPtr, core.FieldU32, core.FieldU32)
+		// Shape: {parent *Shape, propNames *; count u32}.
+		shapeL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldU32)
+		// AST node: {left, right *Node, token u32}.
+		astL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldU32)
+
+		slot := m.ABI.PointerSize()
+
+		// Shared root shapes survive across scripts.
+		rootShape := m.AllocRecord(shapeL)
+		// A fraction of objects survives each script (interned strings,
+		// cached regexps, global pollution), so the process footprint
+		// grows over the run as Test262's does.
+		var survivors []core.Ptr
+
+		// The VM value stack: JSValues are capability-sized under purecap.
+		vmStack := m.Alloc(256 * slot)
+		sp := 0
+
+		for s := 0; s < scripts*scale; s++ {
+			// --- Parse: build and link an AST of fresh allocations. ---
+			m.Call(fnParse, true) // parser lives in the library DSO
+			nAst := 40 + r.intn(80)
+			ast := make([]core.Ptr, nAst)
+			for i := range ast {
+				ast[i] = m.AllocRecord(astL)
+				m.StorePtr(astL.Field(ast[i], 0), 0)
+				m.StorePtr(astL.Field(ast[i], 1), 0)
+				m.Store(astL.Field(ast[i], 2), uint64(r.intn(96)), 4)
+				if i > 0 {
+					parent := ast[r.intn(i)]
+					side := r.intn(2)
+					m.StorePtr(astL.Field(parent, side), ast[i])
+				}
+				m.ALU(8) // lexer + parser state machine work
+				m.BranchAt(801, r.chance(1, 3))
+			}
+			m.Return()
+
+			// --- Allocate the script's object graph. ---
+			nObjs := 24 + r.intn(48)
+			objs := make([]core.Ptr, nObjs)
+			shapes := make([]core.Ptr, 0, 8)
+			shapes = append(shapes, rootShape)
+			for i := range objs {
+				m.Call(fnNewObj, false)
+				o := m.AllocRecord(objL)
+				props := m.Alloc(uint64(4+r.intn(12)) * slot)
+				sh := shapes[r.intn(len(shapes))]
+				if r.chance(1, 6) { // shape transition
+					nsh := m.AllocRecord(shapeL)
+					m.StorePtr(shapeL.Field(nsh, 0), sh)
+					shapes = append(shapes, nsh)
+					sh = nsh
+				}
+				m.StorePtr(objL.Field(o, 0), sh)
+				m.StorePtr(objL.Field(o, 1), props)
+				if i > 0 {
+					m.StorePtr(objL.Field(o, 2), objs[r.intn(i)])
+				} else {
+					m.StorePtr(objL.Field(o, 2), 0)
+				}
+				objs[i] = o
+				m.Return()
+			}
+
+			// --- Execute: indirect-dispatch interpretation. ---
+			nOps := 300 + r.intn(300)
+			for op := 0; op < nOps; op++ {
+				h := handlers[r.intn(len(handlers))]
+				m.CallVirtual(h)
+				m.CapCodegen(5) // JSValue boxing and capability copies
+				o := objs[r.intn(nObjs)]
+				// Push/pop the operand on the VM value stack.
+				m.StorePtr(vmStack+core.Ptr(uint64(sp%250)*slot), o)
+				sp++
+				m.LoadPtr(vmStack + core.Ptr(uint64((sp-1)%250)*slot))
+				// Property access: shape walk then slot load.
+				sh := m.LoadPtr(objL.Field(o, 0))
+				m.Load(shapeL.Field(sh, 2), 4)
+				props := m.LoadPtr(objL.Field(o, 1))
+				m.LoadPtr(props)    // property value (a JSValue pointer)
+				m.ALU(14)           // opcode decode, refcounts, arithmetic on values
+				if r.chance(1, 4) { // property write
+					m.BranchAt(802, true)
+					m.StorePtr(props+core.Ptr(uint64(r.intn(4))*slot), objs[r.intn(nObjs)])
+				} else {
+					m.BranchAt(803, false)
+				}
+				// Prototype-chain lookup on misses.
+				if r.chance(1, 5) {
+					m.BranchAt(804, true)
+					proto := m.LoadPtr(objL.Field(o, 2))
+					if proto != 0 {
+						m.LoadPtr(objL.Field(proto, 0))
+					}
+				} else {
+					m.BranchAt(805, false)
+				}
+				m.Return()
+			}
+
+			// --- Teardown: free the script's garbage, except survivors. ---
+			m.Call(fnGC, false)
+			for i, o := range objs {
+				if i%4 == 0 { // survives the script
+					survivors = append(survivors, o)
+					continue
+				}
+				props := m.LoadPtr(objL.Field(o, 1))
+				m.Free(props)
+				m.Free(o)
+				m.ALU(2)
+			}
+			// The GC mark pass still touches a window of old survivors.
+			for i := 0; i < 64 && i < len(survivors); i++ {
+				sv := survivors[(s*17+i*31)%len(survivors)]
+				m.LoadPtr(objL.Field(sv, 0))
+				m.ALU(1)
+			}
+			for _, n := range ast {
+				m.Free(n)
+			}
+			m.Return()
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "quickjs",
+		Desc:       "QuickJS interpreter running many small Test262 scripts",
+		PaperMI:    0.680,
+		PaperTimes: [3]float64{22.51, -1, 59.87}, // benchmark ABI crashed (NA)
+		Selected:   true,
+		TopDown:    true,
+		Run:        quickjs(140),
+	})
+}

@@ -1,0 +1,24 @@
+package workloads
+
+import (
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+)
+
+// Execute runs workload w on a fresh default-configured machine under ABI
+// a at the given scale and returns the machine with its counters
+// finalized. Capability faults surface as the returned error.
+func Execute(w *Workload, a abi.ABI, scale int) (*core.Machine, error) {
+	return ExecuteConfig(w, core.DefaultConfig(a), scale)
+}
+
+// ExecuteConfig is Execute with an explicit machine configuration, used by
+// the ablation experiments (capability-aware predictor, resized caches).
+func ExecuteConfig(w *Workload, cfg core.Config, scale int) (*core.Machine, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	m := core.NewMachine(cfg)
+	err := m.Run(func(m *core.Machine) { w.Run(m, scale) })
+	return m, err
+}

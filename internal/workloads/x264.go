@@ -1,0 +1,95 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// x264 models 525.x264_r / 625.x264_s: H.264 video encoding. The encoder's
+// time is dominated by motion estimation — sum-of-absolute-difference
+// searches of 16x16 macroblocks against a reference frame window (SIMD
+// over streaming pixel rows) — followed by DCT/quantisation arithmetic and
+// entropy-coder updates. Pointer traffic is light (frame planes are flat
+// arrays); per-macroblock analysis structures contribute a little.
+// The paper compiled and ran x264 under all three ABIs (Appendix Table 5)
+// but does not tabulate it in Table 2/3, so no PaperMI is recorded.
+func x264(width, height, frames int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		m.Func("x264_encoder_encode", 6144, 384)
+		fnME := m.Func("x264_me_search_ref", 3072, 192)
+		fnDCT := m.Func("x264_sub16x16_dct", 1536, 96)
+
+		r := newRNG(0x0525)
+
+		plane := uint64(width * height)
+		cur := m.Alloc(plane)
+		ref := m.Alloc(plane)
+
+		// Per-macroblock analysis record with pointers to candidate
+		// predictors.
+		mbL := m.Layout(core.FieldPtr, core.FieldU32, core.FieldU32, core.FieldU32)
+		mbs := make([]core.Ptr, (width/16)*(height/16))
+		for i := range mbs {
+			mbs[i] = m.AllocRecord(mbL)
+		}
+
+		for f := 0; f < frames*scale; f++ {
+			for mbY := 0; mbY < height/16; mbY++ {
+				for mbX := 0; mbX < width/16; mbX++ {
+					mb := mbs[mbY*(width/16)+mbX]
+					m.LoadPtr(mbL.Field(mb, 0))
+
+					// Motion search: SAD over a small diamond of candidate
+					// offsets, each comparing 16 rows of 16 pixels.
+					m.Call(fnME, false)
+					best := uint64(1 << 60)
+					for cand := 0; cand < 6; cand++ {
+						off := uint64(mbY*16*width+mbX*16) + uint64(r.intn(64))
+						var sad uint64
+						for row := 0; row < 16; row += 2 {
+							m.Load(cur+core.Ptr((off+uint64(row*width))%plane), 8)
+							m.Load(ref+core.Ptr((off+uint64(row*width)+3)%plane), 8)
+							m.SIMD(2) // absolute differences + horizontal add
+							sad += uint64(cand + row)
+						}
+						m.ALU(2)
+						better := sad < best
+						m.BranchAt(1201, better)
+						if better {
+							best = sad
+						}
+					}
+					m.Store(mbL.Field(mb, 1), best, 4)
+					m.Return()
+
+					// Residual transform + quantisation.
+					m.Call(fnDCT, false)
+					for blk := 0; blk < 4; blk++ {
+						m.Load(cur+core.Ptr((uint64(mbY*16*width+mbX*16)+uint64(blk*4))%plane), 8)
+						m.SIMD(6) // butterflies
+						m.ALU(4)  // quant scaling
+					}
+					m.Return()
+
+					// CABAC-ish entropy state updates: branchy scalar code.
+					for b := 0; b < 8; b++ {
+						m.ALU(3)
+						m.BranchAt(1202, r.chance(1, 2))
+					}
+					m.Store(mbL.Field(mb, 2), uint64(f), 4)
+				}
+			}
+			cur, ref = ref, cur
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name: "525.x264_r",
+		Desc: "H.264 video compression",
+		Run:  x264(320, 192, 5),
+	})
+	register(&Workload{
+		Name: "625.x264_s",
+		Desc: "H.264 video compression (speed variant)",
+		Run:  x264(384, 224, 5),
+	})
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// xalancbmk models 523.xalancbmk_r / 623.xalancbmk_s: an XSLT processor
+// transforming XML into HTML. The hot profile is a DOM of pointer-linked
+// element nodes traversed by recursive template matching; crucially, the
+// xerces DOM is accessed through *virtual accessors* (getFirstChild,
+// getNextSibling, getNodeType live behind vtables in a separate DSO), so
+// every node visit makes several capability jumps under purecap. That is
+// why xalancbmk is the paper's strongest example of the Morello PCC-bounds
+// predictor problem — 103.5 % purecap overhead falling to 45.5 % under the
+// benchmark ABI — and why it shows the largest capability load density
+// (~81 %) and a 1170 % DTLB-walk increase from the doubled pointer
+// footprint.
+func xalancbmk(nodes, passes int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		fnMatch := m.Func("XSLTEngineImpl::executeTemplate", 2048, 160)
+		fnChild := m.Func("DOMElementImpl::getFirstChild", 512, 48)
+		fnSibling := m.Func("DOMElementImpl::getNextSibling", 512, 48)
+		// Per-node-kind formatters, dispatched virtually.
+		kinds := make([]*core.Fn, 8)
+		for i := range kinds {
+			kinds[i] = m.Func("FormatterToHTML::emit", 896, 96)
+		}
+
+		r := newRNG(0x0523)
+
+		// DOM node: {firstChild, nextSibling, attrs, text *; kind u32,
+		// hash u64}.
+		nodeL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldPtr, core.FieldPtr, core.FieldU32, core.FieldU64)
+
+		// Build the document tree breadth-first with fanout 1-6.
+		root := m.AllocRecord(nodeL)
+		m.Store(nodeL.Field(root, 4), 0, 4)
+		queue := []core.Ptr{root}
+		built := 1
+		for built < nodes && len(queue) > 0 {
+			parent := queue[0]
+			queue = queue[1:]
+			fan := 1 + r.intn(6)
+			var prev core.Ptr
+			for c := 0; c < fan && built < nodes; c++ {
+				n := m.AllocRecord(nodeL)
+				m.Store(nodeL.Field(n, 4), uint64(r.intn(len(kinds))), 4)
+				m.Store(nodeL.Field(n, 5), r.next()%1000, 8)
+				if r.chance(1, 3) {
+					attrs := m.Alloc(48)
+					m.StorePtr(nodeL.Field(n, 2), attrs)
+				}
+				if r.chance(1, 2) {
+					text := m.Alloc(32 + uint64(r.intn(96)))
+					m.StorePtr(nodeL.Field(n, 3), text)
+				}
+				if prev == 0 {
+					m.StorePtr(nodeL.Field(parent, 0), n)
+				} else {
+					m.StorePtr(nodeL.Field(prev, 1), n)
+				}
+				prev = n
+				built++
+				queue = append(queue, n)
+			}
+		}
+
+		// Output buffer: appended to during the transform.
+		outBuf := m.Alloc(1 << 20)
+		outPos := uint64(0)
+
+		// Virtual DOM accessors: a capability jump into the xerces DSO
+		// per call under purecap.
+		firstChild := func(n core.Ptr) core.Ptr {
+			m.CallVirtualAt(1310, fnChild)
+			c := m.LoadPtr(nodeL.Field(n, 0))
+			m.ALU(2)
+			m.Return()
+			return c
+		}
+		nextSibling := func(n core.Ptr) core.Ptr {
+			m.CallVirtualAt(1311, fnSibling)
+			c := m.LoadPtr(nodeL.Field(n, 1))
+			m.ALU(2)
+			m.Return()
+			return c
+		}
+
+		var transform func(n core.Ptr, depth int)
+		transform = func(n core.Ptr, depth int) {
+			m.Call(fnMatch, false)
+			defer m.Return()
+
+			kind := m.LoadDep(nodeL.Field(n, 4), 4)
+			hash := m.LoadDep(nodeL.Field(n, 5), 8)
+			// Template-rule matching: pattern hash plus string compares.
+			m.ALU(12)
+			m.CapCodegen(4) // capability argument copies in deep C++ calls
+
+			// Virtual dispatch to the node formatter.
+			m.CallVirtualAt(1312, kinds[kind%uint64(len(kinds))])
+			attrs := m.LoadPtr(nodeL.Field(n, 2))
+			if attrs != 0 {
+				m.BranchAt(1301, true)
+				m.Load(attrs, 8)
+				m.Load(attrs+16, 8)
+				m.ALU(6) // attribute-name comparison and escaping
+			} else {
+				m.BranchAt(1302, false)
+			}
+			text := m.LoadPtr(nodeL.Field(n, 3))
+			if text != 0 {
+				m.BranchAt(1303, true)
+				v := m.Load(text, 8)
+				// UTF transcoding loop over the text run.
+				for ch := 0; ch < 6; ch++ {
+					m.ALU(2)
+					m.BranchAt(1307, ch < 5)
+				}
+				m.Store(outBuf+core.Ptr(outPos%(1<<20-8)), v^hash, 8)
+				outPos += 24
+			} else {
+				m.BranchAt(1304, false)
+			}
+			m.Return() // from formatter
+
+			if depth < 64 {
+				for c := firstChild(n); c != 0; c = nextSibling(c) {
+					m.BranchAt(1305, true)
+					transform(c, depth+1)
+				}
+				m.BranchAt(1306, false)
+			}
+		}
+
+		for p := 0; p < passes*scale; p++ {
+			outPos = 0
+			transform(root, 0)
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "523.xalancbmk_r",
+		Desc:       "XSLT processor transforming XML documents",
+		PaperMI:    0.860,
+		PaperTimes: [3]float64{53.59, 77.95, 109.07},
+		Selected:   true,
+		Run:        xalancbmk(30000, 3),
+	})
+	register(&Workload{
+		Name:    "623.xalancbmk_s",
+		Desc:    "XSLT processor (speed variant)",
+		PaperMI: 0.860,
+		Run:     xalancbmk(36000, 3),
+	})
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import "cherisim/internal/core"
+
+// xz models 557.xz_r / 657.xz_s: LZMA compression from XZ Utils. The hot
+// path is the match finder — hash-chain probes into a multi-megabyte
+// window with data-dependent chain walks and byte-compare loops whose
+// outcomes are close to random (the source of xz's ~5.5 % branch MR and
+// 22 % L2 miss rate) — followed by range-coder arithmetic. Pointer density
+// is modest (~12 % under purecap): chain entries are indices, but the
+// encoder's stream state and allocator structures hold pointers.
+func xz(windowBytes, positions int) func(*core.Machine, int) {
+	return func(m *core.Machine, scale int) {
+		m.Func("lzma_mf_find", 2816, 160)
+		fnRC := m.Func("rc_encode", 1536, 96)
+
+		r := newRNG(0x0557)
+
+		window := m.Alloc(uint64(windowBytes))
+		hashHeads := m.Alloc(1 << 16 * 4)         // u32 head per hash bucket
+		chain := m.Alloc(uint64(windowBytes) * 4) // u32 previous-position links
+
+		// Stream state with pointer fields (dictionary, allocator, filters).
+		stateL := m.Layout(core.FieldPtr, core.FieldPtr, core.FieldPtr, core.FieldU64, core.FieldU64)
+		state := m.AllocRecord(stateL)
+		m.StorePtr(stateL.Field(state, 0), window)
+		m.StorePtr(stateL.Field(state, 1), hashHeads)
+		m.StorePtr(stateL.Field(state, 2), chain)
+
+		// Fill the window with compressible-ish pseudo-data (the input
+		// generation pass: RNG arithmetic per word).
+		for off := 0; off < windowBytes; off += 8 {
+			m.ALU(3)
+			m.Store(window+core.Ptr(off), r.next()%251, 8)
+			m.BranchAt(904, off+8 < windowBytes)
+		}
+
+		pos := uint64(0)
+		for p := 0; p < positions*scale; p++ {
+			// Hash the next 4 bytes, probe the bucket head.
+			cur := m.LoadDep(window+core.Ptr(pos%uint64(windowBytes-8)), 4)
+			m.ALU(3) // hash
+			bucket := (cur * 2654435761) % (1 << 16)
+			head := m.LoadDep(hashHeads+core.Ptr(bucket*4), 4)
+
+			// Walk the chain: dependent loads + byte compares.
+			depth := 4 + r.intn(12)
+			cand := head
+			for d := 0; d < depth; d++ {
+				c := m.LoadDep(window+core.Ptr(cand%uint64(windowBytes-8)), 8)
+				m.ALU(5)
+				match := c == cur
+				m.BranchAt(1401, match) // essentially random
+				if match {
+					// Extend the match bytewise.
+					for ext := 0; ext < 8; ext++ {
+						m.Load(window+core.Ptr((cand+uint64(ext))%uint64(windowBytes-8)), 1)
+						m.ALU(3)
+						more := r.chance(3, 4)
+						m.BranchAt(1402, more)
+						if !more {
+							break
+						}
+					}
+					break
+				}
+				cand = m.LoadDep(chain+core.Ptr((cand%uint64(windowBytes))*4), 4)
+			}
+
+			// Update chain and head.
+			m.Store(chain+core.Ptr((pos%uint64(windowBytes))*4), head, 4)
+			m.Store(hashHeads+core.Ptr(bucket*4), pos, 4)
+
+			// Range-coder arithmetic on the chosen symbol.
+			m.Call(fnRC, false)
+			m.LoadPtr(stateL.Field(state, 2))
+			m.ALU(26) // probability updates, shifts, normalisation
+			m.Store(stateL.Field(state, 3), pos, 8)
+			m.BranchAt(1403, pos%13 == 0) // renormalisation
+			m.Return()
+
+			pos += 1 + uint64(r.intn(4))
+		}
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "557.xz_r",
+		Desc:       "LZMA data compression (XZ Utils)",
+		PaperMI:    0.514,
+		PaperTimes: [3]float64{46.93, 49.65, 49.98},
+		Selected:   true,
+		Run:        xz(2<<20, 24000),
+	})
+	register(&Workload{
+		Name:    "657.xz_s",
+		Desc:    "LZMA data compression (speed variant, pthreads port)",
+		PaperMI: 0.504,
+		Run:     xz(3<<20, 24000),
+	})
+}
