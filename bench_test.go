@@ -22,6 +22,7 @@ import (
 	"cherisim/internal/core"
 	"cherisim/internal/experiments"
 	"cherisim/internal/tlb"
+	"cherisim/internal/workloads"
 )
 
 var (
@@ -131,7 +132,8 @@ func BenchmarkCapEncodeDecode(b *testing.B) {
 	}
 }
 
-// BenchmarkCacheAccess measures the set-associative cache model.
+// BenchmarkCacheAccess measures the set-associative cache model on a
+// streaming (miss-heavy) pattern — the folded single-pass victim scan.
 func BenchmarkCacheAccess(b *testing.B) {
 	c := cache.New(cache.L1DConfig)
 	for i := 0; i < b.N; i++ {
@@ -139,11 +141,44 @@ func BenchmarkCacheAccess(b *testing.B) {
 	}
 }
 
-// BenchmarkTLBTranslate measures the two-level TLB with walker.
+// BenchmarkCacheAccessHot measures the line-reuse pattern every workload's
+// inner loops produce — the MRU-way fast path.
+func BenchmarkCacheAccessHot(b *testing.B) {
+	c := cache.New(cache.L1DConfig)
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%4)*8, false)
+	}
+}
+
+// BenchmarkTLBTranslate measures the two-level TLB with walker on a
+// page-per-access sweep (worst case for the translation memo).
 func BenchmarkTLBTranslate(b *testing.B) {
 	h := tlb.NewHierarchy(tlb.L1DConfig, tlb.New(tlb.L2Config))
 	for i := 0; i < b.N; i++ {
 		h.Translate(uint64(i) << 12 % (1 << 30))
+	}
+}
+
+// BenchmarkTLBTranslateHot measures same-page translation runs — the
+// last-translation fast path that core.translateD rides.
+func BenchmarkTLBTranslateHot(b *testing.B) {
+	h := tlb.NewHierarchy(tlb.L1DConfig, tlb.New(tlb.L2Config))
+	for i := 0; i < b.N; i++ {
+		h.Translate(0x4000_0000 + uint64(i%64)*8)
+	}
+}
+
+// BenchmarkSessionCachedRun measures the singleflight session's hit path:
+// the per-request overhead a cached measurement costs a repeat caller.
+func BenchmarkSessionCachedRun(b *testing.B) {
+	s := session()
+	wl := workloads.All()[0]
+	s.Run(wl, abi.Hybrid) // warm the key
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := s.Run(wl, abi.Hybrid); d == nil || d.Err != nil {
+			b.Fatal("cached run failed")
+		}
 	}
 }
 

@@ -139,10 +139,30 @@ func Experiments() []*Experiment { return experiments.All() }
 func ExperimentByID(id string) (*Experiment, error) { return experiments.ByID(id) }
 
 // NewExperimentSession creates a cached measurement session for running
-// experiments at the given workload scale.
+// experiments at the given workload scale. The session is safe for
+// concurrent use: same-key callers are deduplicated onto one in-flight
+// execution, distinct keys run in parallel across a worker pool (set
+// Session.Jobs to bound it; see NewParallelExperimentSession).
 func NewExperimentSession(scale int) *experiments.Session {
 	return experiments.NewSession(scale)
 }
+
+// NewParallelExperimentSession creates a measurement session whose worker
+// pool runs up to min(GOMAXPROCS, jobs) workloads concurrently. Rendering
+// experiments after a Prefetch/RunAll produces bytes identical to a serial
+// session — each (workload, ABI) run is deterministic and isolated.
+func NewParallelExperimentSession(scale, jobs int) *experiments.Session {
+	s := experiments.NewSession(scale)
+	s.Jobs = jobs
+	return s
+}
+
+// ExperimentPair names one (workload, ABI) measurement of the campaign.
+type ExperimentPair = experiments.Pair
+
+// CampaignGrid returns the paper's full measurement grid — every runnable
+// workload crossed with the three ABIs — for use with Session.Prefetch.
+func CampaignGrid() []ExperimentPair { return experiments.CampaignGrid() }
 
 func resultOf(m *Machine, err error) (*Result, error) {
 	return &Result{
@@ -171,7 +191,10 @@ func RunTemporalSafety(workload string, scale int) (*Result, []core.RevocationSt
 // CoRun co-runs the named workloads, one per simulated core, against the
 // shared 1 MiB system-level cache under ABI a (up to the Morello SoC's
 // four cores). Scheduling is deterministic round robin; results are
-// per-core, in input order.
+// per-core, in input order. When a core faults, the error describes the
+// first faulting core and the returned slice still carries every core's
+// partial measurements (the faulting core's counters are finalized up to
+// the fault), matching Run's "partial measurements attached" contract.
 func CoRun(names []string, a ABI, scale int) ([]*Result, error) {
 	if len(names) == 0 || len(names) > 4 {
 		return nil, fmt.Errorf("cherisim: CoRun takes 1-4 workloads, got %d", len(names))
@@ -189,11 +212,12 @@ func CoRun(names []string, a ABI, scale int) ([]*Result, error) {
 	}
 	rs := soc.Run(specs)
 	out := make([]*Result, len(rs))
+	var firstErr error
 	for i, r := range rs {
-		if r.Err != nil {
-			return nil, fmt.Errorf("core %d (%s): %w", i, names[i], r.Err)
-		}
 		out[i], _ = resultOf(r.Machine, nil)
+		if r.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core %d (%s): %w", i, names[i], r.Err)
+		}
 	}
-	return out, nil
+	return out, firstErr
 }

@@ -1,0 +1,215 @@
+// Command bench-export runs the simulator's benchmark set with memory
+// accounting and writes a machine-readable BENCH_<date>.json snapshot
+// (ns/op, bytes/op, allocs/op per benchmark), so the performance
+// trajectory of the hot paths is tracked across PRs.
+//
+// Usage:
+//
+//	bench-export                 # substrate micro-benchmarks -> BENCH_<date>.json
+//	bench-export -full           # also regenerate every experiment artefact
+//	bench-export -jobs 8         # worker-pool width for the campaign prefetch
+//	bench-export -o bench.json   # explicit output path
+//
+// The experiment benchmarks share one measurement session, prefetched
+// across the worker pool first, so -full pays the campaign cost once.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/alloc"
+	"cherisim/internal/branch"
+	"cherisim/internal/cache"
+	"cherisim/internal/cap"
+	"cherisim/internal/core"
+	"cherisim/internal/experiments"
+	"cherisim/internal/tlb"
+)
+
+// record is one benchmark's exported measurement.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// snapshot is the exported file format.
+type snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	full := flag.Bool("full", false, "also benchmark every experiment regeneration")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width for the campaign prefetch")
+	flag.Parse()
+
+	snap := snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if *out == "" {
+		*out = "BENCH_" + snap.Date + ".json"
+	}
+
+	for _, b := range substrate() {
+		snap.Benchmarks = append(snap.Benchmarks, measure(b.name, b.fn))
+	}
+	if *full {
+		s := experiments.NewSession(1)
+		s.Jobs = *jobs
+		fmt.Fprintln(os.Stderr, "bench-export: prefetching measurement campaign...")
+		s.Prefetch(experiments.UnionPairs(experiments.All()))
+		for _, e := range experiments.All() {
+			e := e
+			snap.Benchmarks = append(snap.Benchmarks, measure("Experiment/"+e.ID, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Run(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+func measure(name string, fn func(*testing.B)) record {
+	fmt.Fprintf(os.Stderr, "bench-export: %s...\n", name)
+	r := testing.Benchmark(fn)
+	return record{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+type bench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// substrate mirrors the micro-benchmarks of bench_test.go: the simulator
+// components every workload run hammers.
+func substrate() []bench {
+	return []bench{
+		{"CapSetBounds", func(b *testing.B) {
+			b.ReportAllocs()
+			root := cap.Root()
+			for i := 0; i < b.N; i++ {
+				c, err := root.SetBounds(uint64(i)<<12, 1<<20)
+				if err != nil || !c.Valid() {
+					b.Fatal("setbounds failed")
+				}
+			}
+		}},
+		{"CapEncodeDecode", func(b *testing.B) {
+			b.ReportAllocs()
+			c := cap.New(0x4000_0000, 1<<16, cap.PermsData)
+			for i := 0; i < b.N; i++ {
+				enc, tag := c.Encode()
+				if d := cap.Decode(enc, tag); d.Base() != c.Base() {
+					b.Fatal("round trip corrupted")
+				}
+			}
+		}},
+		{"CacheAccess", func(b *testing.B) {
+			b.ReportAllocs()
+			c := cache.New(cache.L1DConfig)
+			for i := 0; i < b.N; i++ {
+				c.Access(uint64(i*64)%(1<<21), i%4 == 0)
+			}
+		}},
+		{"CacheAccessHot", func(b *testing.B) {
+			b.ReportAllocs()
+			c := cache.New(cache.L1DConfig)
+			for i := 0; i < b.N; i++ {
+				c.Access(uint64(i%4)*8, false)
+			}
+		}},
+		{"TLBTranslate", func(b *testing.B) {
+			b.ReportAllocs()
+			h := tlb.NewHierarchy(tlb.L1DConfig, tlb.New(tlb.L2Config))
+			for i := 0; i < b.N; i++ {
+				h.Translate(uint64(i) << 12 % (1 << 30))
+			}
+		}},
+		{"TLBTranslateHot", func(b *testing.B) {
+			b.ReportAllocs()
+			h := tlb.NewHierarchy(tlb.L1DConfig, tlb.New(tlb.L2Config))
+			for i := 0; i < b.N; i++ {
+				h.Translate(0x4000_0000 + uint64(i%64)*8)
+			}
+		}},
+		{"Predictor", func(b *testing.B) {
+			b.ReportAllocs()
+			p := branch.New()
+			for i := 0; i < b.N; i++ {
+				p.Resolve(uint64(i%64)<<2, branch.Immed, i%3 == 0, 0, false)
+			}
+		}},
+		{"Allocator", func(b *testing.B) {
+			b.ReportAllocs()
+			h := alloc.New(abi.Purecap, 0x4000_0000, 1<<32)
+			for i := 0; i < b.N; i++ {
+				a, err := h.Alloc(uint64(64 + i%256))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.Free(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MachineLoadStore", func(b *testing.B) {
+			b.ReportAllocs()
+			m := core.New(abi.Purecap)
+			m.Func("bench", 512, 64)
+			err := m.Run(func(m *core.Machine) {
+				p := m.Alloc(1 << 20)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					off := core.Ptr(uint64(i*64) % (1 << 20))
+					m.Store(p+off, uint64(i), 8)
+					m.Load(p+off, 8)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-export:", err)
+	os.Exit(1)
+}

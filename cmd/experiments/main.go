@@ -7,12 +7,19 @@
 //	experiments -run fig1        # regenerate one artefact
 //	experiments -all             # regenerate everything
 //	experiments -all -scale 3    # run workloads at 3x length
+//	experiments -all -jobs 8     # fan the measurement campaign over 8 workers
+//
+// The (workload, ABI) measurement grid is prefetched across a worker pool
+// of -jobs simulated machines before rendering; because every run is
+// deterministic and isolated, the rendered output is byte-identical for
+// any -jobs value (including the fully serial -jobs 1).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cherisim/internal/experiments"
 )
@@ -22,7 +29,15 @@ func main() {
 	run := flag.String("run", "", "run a single experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
+		"max concurrently simulated workloads (1 = serial; capped at GOMAXPROCS)")
 	flag.Parse()
+
+	newSession := func() *experiments.Session {
+		s := experiments.NewSession(*scale)
+		s.Jobs = *jobs
+		return s
+	}
 
 	switch {
 	case *list:
@@ -32,16 +47,27 @@ func main() {
 	case *run != "":
 		e, err := experiments.ByID(*run)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; available:\n", *run)
+			for _, e := range experiments.All() {
+				fmt.Fprintf(os.Stderr, "  %-20s %s\n", e.ID, e.Title)
+			}
+			os.Exit(1)
 		}
-		s := experiments.NewSession(*scale)
+		s := newSession()
+		if e.Pairs != nil {
+			s.Prefetch(e.Pairs())
+		}
 		out, err := e.Run(s)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("== %s (%s) ==\n%s\n", e.Title, e.Section, out)
 	case *all:
-		s := experiments.NewSession(*scale)
+		s := newSession()
+		// Execute the union of every experiment's measurement grid across
+		// the worker pool up front; rendering below then only reads the
+		// cache, so output order and bytes match the serial path exactly.
+		s.Prefetch(experiments.UnionPairs(experiments.All()))
 		for _, e := range experiments.All() {
 			out, err := e.Run(s)
 			if err != nil {

@@ -52,8 +52,18 @@ type Cache struct {
 	sets    [][]line
 	numSets int
 	lineSz  uint64
-	seq     uint64
-	Stats   Stats
+	// lineShift/setMask/setShift are the shift-and-mask form of the
+	// line/set/tag split (geometries are power-of-two, enforced in New),
+	// keeping integer division out of the per-access hot path.
+	lineShift uint
+	setMask   uint64
+	setShift  uint
+	seq       uint64
+	// mru holds each set's most-recently-used way — a hint probed before
+	// the associative scan. It is always verified against tag+valid, so a
+	// stale hint costs one compare and never changes behaviour.
+	mru   []uint16
+	Stats Stats
 }
 
 // New builds a cache from its configuration.
@@ -62,20 +72,39 @@ func New(cfg Config) *Cache {
 	if numSets <= 0 || numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, numSets))
 	}
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
 	sets := make([][]line, numSets)
 	backing := make([]line, numSets*cfg.Ways)
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{cfg: cfg, sets: sets, numSets: numSets, lineSz: uint64(cfg.LineSize)}
+	return &Cache{
+		cfg: cfg, sets: sets, numSets: numSets, lineSz: uint64(cfg.LineSize),
+		lineShift: log2(uint64(cfg.LineSize)),
+		setMask:   uint64(numSets - 1),
+		setShift:  log2(uint64(numSets)),
+		mru:       make([]uint16, numSets),
+	}
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	lineAddr := addr / c.lineSz
-	return int(lineAddr % uint64(c.numSets)), lineAddr / uint64(c.numSets)
+	lineAddr := addr >> c.lineShift
+	return int(lineAddr & c.setMask), lineAddr >> c.setShift
 }
 
 // Result describes the outcome of one cache access.
@@ -89,6 +118,13 @@ type Result struct {
 
 // Access looks up addr; on a miss it allocates (write-allocate) and reports
 // any dirty eviction. write marks the line dirty on stores.
+//
+// The lookup probes the set's MRU way before the associative scan (the
+// common case on the simulator's line-local access patterns), and the scan
+// itself tracks the replacement victim as it goes, so a miss costs one
+// pass over the ways instead of two. Both fast paths are behaviourally
+// identical to the plain scan: same hit/miss outcome, same LRU updates,
+// same victim choice (first invalid way, else lowest-lru, earliest index).
 func (c *Cache) Access(addr uint64, write bool) Result {
 	c.Stats.Accesses++
 	if write {
@@ -98,9 +134,9 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 	set, tag := c.index(addr)
 	c.seq++
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
+	ways := c.sets[set]
+	if m := int(c.mru[set]); m < len(ways) {
+		if l := &ways[m]; l.valid && l.tag == tag {
 			l.lru = c.seq
 			if write {
 				l.dirty = true
@@ -108,32 +144,45 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			return Result{Hit: true}
 		}
 	}
-	// Miss: allocate into the LRU way.
+	firstInvalid, minIdx := -1, 0
+	for i := range ways {
+		l := &ways[i]
+		if l.valid {
+			if l.tag == tag {
+				l.lru = c.seq
+				if write {
+					l.dirty = true
+				}
+				c.mru[set] = uint16(i)
+				return Result{Hit: true}
+			}
+			if firstInvalid < 0 && l.lru < ways[minIdx].lru {
+				minIdx = i
+			}
+		} else if firstInvalid < 0 {
+			firstInvalid = i
+		}
+	}
+	// Miss: allocate into the first invalid way, else the LRU way.
 	c.Stats.Refills++
 	if write {
 		c.Stats.WriteMiss++
 	} else {
 		c.Stats.ReadMiss++
 	}
-	victim := 0
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if !l.valid {
-			victim = i
-			break
-		}
-		if l.lru < c.sets[set][victim].lru {
-			victim = i
-		}
+	victim := firstInvalid
+	if victim < 0 {
+		victim = minIdx
 	}
-	v := &c.sets[set][victim]
+	v := &ways[victim]
 	res := Result{}
 	if v.valid && v.dirty {
 		c.Stats.WriteBacks++
 		res.WriteBack = true
-		res.WriteBackAddr = (v.tag*uint64(c.numSets) + uint64(set)) * c.lineSz
+		res.WriteBackAddr = (v.tag<<c.setShift | uint64(set)) << c.lineShift
 	}
 	*v = line{tag: tag, valid: true, dirty: write, lru: c.seq}
+	c.mru[set] = uint16(victim)
 	return res
 }
 

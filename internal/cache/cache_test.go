@@ -142,3 +142,133 @@ func TestMissRateZeroDivision(t *testing.T) {
 		t.Fatal("zero-access miss rate not zero")
 	}
 }
+
+// refCache is the pre-fast-path reference model: plain hit scan followed
+// by a separate victim scan. The MRU fast path and the folded single-pass
+// scan in Cache.Access must stay bit-identical to it.
+type refCache struct {
+	sets    [][]line
+	numSets int
+	lineSz  uint64
+	seq     uint64
+	stats   Stats
+}
+
+func newRef(cfg Config) *refCache {
+	numSets := cfg.SizeBytes / (cfg.LineSize * cfg.Ways)
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &refCache{sets: sets, numSets: numSets, lineSz: uint64(cfg.LineSize)}
+}
+
+func (c *refCache) access(addr uint64, write bool) Result {
+	c.stats.Accesses++
+	if write {
+		c.stats.WriteAcc++
+	} else {
+		c.stats.ReadAcc++
+	}
+	lineAddr := addr / c.lineSz
+	set, tag := int(lineAddr%uint64(c.numSets)), lineAddr/uint64(c.numSets)
+	c.seq++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lru = c.seq
+			if write {
+				l.dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Refills++
+	if write {
+		c.stats.WriteMiss++
+	} else {
+		c.stats.ReadMiss++
+	}
+	victim := 0
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.lru < c.sets[set][victim].lru {
+			victim = i
+		}
+	}
+	v := &c.sets[set][victim]
+	res := Result{}
+	if v.valid && v.dirty {
+		c.stats.WriteBacks++
+		res.WriteBack = true
+		res.WriteBackAddr = (v.tag*uint64(c.numSets) + uint64(set)) * c.lineSz
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.seq}
+	return res
+}
+
+// TestAccessMatchesReferenceModel drives the optimized cache and the
+// reference model with identical randomized access streams (mixing tight
+// line reuse, set conflicts and streaming) and requires identical results,
+// stats and final line state on every step.
+func TestAccessMatchesReferenceModel(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "tiny", SizeBytes: 512, LineSize: 64, Ways: 2, HitLatency: 1},
+		L1DConfig,
+		L2Config,
+	} {
+		rng := rand.New(rand.NewSource(42))
+		opt := New(cfg)
+		ref := newRef(cfg)
+		var last uint64
+		for i := 0; i < 20000; i++ {
+			var addr uint64
+			switch rng.Intn(4) {
+			case 0: // reuse the previous line (MRU fast-path territory)
+				addr = last + uint64(rng.Intn(64))
+			case 1: // conflict within one set
+				addr = uint64(rng.Intn(8)) * uint64(cfg.LineSize) * uint64(opt.numSets)
+			case 2: // stream
+				addr = uint64(i) * 64
+			default:
+				addr = rng.Uint64() % (1 << 22)
+			}
+			last = addr
+			write := rng.Intn(3) == 0
+			got := opt.Access(addr, write)
+			want := ref.access(addr, write)
+			if got != want {
+				t.Fatalf("%s step %d addr=%#x write=%v: got %+v want %+v", cfg.Name, i, addr, write, got, want)
+			}
+		}
+		if opt.Stats != ref.stats {
+			t.Fatalf("%s: stats diverged: got %+v want %+v", cfg.Name, opt.Stats, ref.stats)
+		}
+		for s := range ref.sets {
+			for w := range ref.sets[s] {
+				if opt.sets[s][w] != ref.sets[s][w] {
+					t.Fatalf("%s: line state diverged at set %d way %d: got %+v want %+v",
+						cfg.Name, s, w, opt.sets[s][w], ref.sets[s][w])
+				}
+			}
+		}
+	}
+}
+
+// TestMRUHintSurvivesInvalidate checks that a stale MRU hint after a flush
+// can never produce a false hit.
+func TestMRUHintSurvivesInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	if !c.Access(0x40, false).Hit {
+		t.Fatal("warm access missed")
+	}
+	c.InvalidateAll()
+	if c.Access(0x40, false).Hit {
+		t.Fatal("stale MRU hint hit after InvalidateAll")
+	}
+}

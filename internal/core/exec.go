@@ -130,9 +130,16 @@ func (m *Machine) accountLoadStallCap(lvl hierLevel, lat uint64, dep Dependency,
 	}
 }
 
-// translate runs the data-side TLB for addr, charging walk latency to the
-// backend memory bucket (address translation blocks the load).
+// translateD runs the data-side TLB for addr, charging walk latency to the
+// backend memory bucket (address translation blocks the load). The
+// last-translation fast path settles same-page accesses — the dominant
+// case in every workload's inner loops — as a verified L1 hit without
+// walking the hierarchy; its accounting is identical to a Translate that
+// hits L1 (zero added latency).
 func (m *Machine) translateD(addr uint64) {
+	if m.DTLB.FastHit(addr) {
+		return
+	}
 	if lat := m.DTLB.Translate(addr); lat > 0 {
 		m.beMemExt += float64(lat) * 0.8
 	}

@@ -16,18 +16,21 @@ func init() {
 		Title:   "Projection: capability-aware branch predictor (PCC-bounds tracking)",
 		Section: "§4.5, §5 — 'modest microarchitectural improvements'",
 		Run:     runAblationPredictor,
+		Pairs:   ablationPairs,
 	})
 	register(&Experiment{
 		ID:      "ablation-storequeue",
 		Title:   "Projection: capability-width store queue",
 		Section: "§2.2 — store buffers sized for 64-bit operations",
 		Run:     runAblationStoreQueue,
+		Pairs:   ablationPairs,
 	})
 	register(&Experiment{
 		ID:      "ablation-caches",
 		Title:   "Projection: doubled L2 to absorb capability footprint",
 		Section: "§4.7 — cache pressure from 128-bit capabilities",
 		Run:     runAblationCaches,
+		Pairs:   ablationPairs,
 	})
 }
 
@@ -38,6 +41,11 @@ func init() {
 func ablate(s *Session, names []string, configure func(*core.Config)) (string, error) {
 	mod := NewSession(s.Scale)
 	mod.Configure = configure
+	mod.Jobs = s.Jobs
+	// Fan the modified-configuration runs out across the worker pool before
+	// the serial render below (the base session's pairs are declared via
+	// ablationPairs, so a campaign prefetch has already covered them).
+	mod.Prefetch(namedPairs(names, abi.Purecap))
 
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 1, 4, 2, ' ', 0)
@@ -68,6 +76,13 @@ func ablate(s *Session, names []string, configure func(*core.Config)) (string, e
 var ablationSet = []string{
 	"520.omnetpp_r", "523.xalancbmk_r", "541.leela_r", "531.deepsjeng_r",
 	"sqlite", "quickjs", "llama-inference",
+}
+
+// ablationPairs declares the base-session measurements every ablation
+// compares against (the modified-configuration runs live in a private
+// session and are prefetched inside ablate).
+func ablationPairs() []Pair {
+	return namedPairs(ablationSet, abi.Hybrid, abi.Purecap)
 }
 
 func runAblationPredictor(s *Session) (string, error) {

@@ -14,6 +14,7 @@ func init() {
 		Title:   "Headline quantitative claims of §4/§5, paper vs measured",
 		Section: "§4.1-§4.8, §5",
 		Run:     runClaims,
+		Pairs:   func() []Pair { return pairsOf(workloads.All(), abi.All()...) },
 	})
 }
 

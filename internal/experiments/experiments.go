@@ -16,6 +16,35 @@ type Experiment struct {
 	// Run executes the experiment against a measurement session and
 	// returns the rendered report.
 	Run func(s *Session) (string, error)
+	// Pairs, when set, declares the (workload, ABI) measurements Run will
+	// ask the session for, so a caller can Prefetch them across the worker
+	// pool before rendering. Nil means the experiment needs no session
+	// measurements (or manages its own machines).
+	Pairs func() []Pair
+}
+
+// UnionPairs returns the deduplicated union of the given experiments'
+// declared measurement pairs, in first-declaration order.
+func UnionPairs(exps []*Experiment) []Pair {
+	seen := map[string]bool{}
+	var out []Pair
+	for _, e := range exps {
+		if e.Pairs == nil {
+			continue
+		}
+		for _, p := range e.Pairs() {
+			if p.Workload == nil {
+				continue
+			}
+			key := p.Workload.Name + "/" + p.ABI.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 var registry = map[string]*Experiment{}

@@ -18,6 +18,9 @@ func init() {
 		Title:   "Extension: quad-core co-runs on the shared LLC",
 		Section: "§2.2 — 1 MB LL cache shared by 4 cores (paper measured solo cores)",
 		Run:     runExtMulticore,
+		Pairs: func() []Pair {
+			return namedPairs([]string{"520.omnetpp_r", "sqlite", "llama-matmul"}, abi.Hybrid, abi.Purecap)
+		},
 	})
 }
 

@@ -17,6 +17,9 @@ func init() {
 		Title:   "Extension: heap temporal safety via revocation sweeps (Cornucopia-style)",
 		Section: "§2.1 temporal safety; related work [12]",
 		Run:     runExtRevocation,
+		Pairs: func() []Pair {
+			return namedPairs([]string{"quickjs", "520.omnetpp_r", "sqlite", "523.xalancbmk_r"}, abi.Purecap)
+		},
 	})
 }
 

@@ -18,6 +18,7 @@ func init() {
 		Title:   "Overall execution performance normalized to hybrid",
 		Section: "§4.1, Figure 1",
 		Run:     runFig1,
+		Pairs:   func() []Pair { return pairsOf(workloads.All(), abi.All()...) },
 	})
 	register(&Experiment{
 		ID:      "fig2",
@@ -30,24 +31,28 @@ func init() {
 		Title:   "Core-bound vs memory-bound counter percentages",
 		Section: "§4.6, Figure 4",
 		Run:     runFig4,
+		Pairs:   func() []Pair { return pairsOf(workloads.TopDownSet(), abi.All()...) },
 	})
 	register(&Experiment{
 		ID:      "fig5",
 		Title:   "Speculative instruction-mix distribution per ABI",
 		Section: "§4.6, Figure 5",
 		Run:     runFig5,
+		Pairs:   func() []Pair { return pairsOf(workloads.All(), abi.All()...) },
 	})
 	register(&Experiment{
 		ID:      "fig6",
 		Title:   "Memory-bound analysis (cache vs DRAM)",
 		Section: "§4.7, Figure 6",
 		Run:     runFig6,
+		Pairs:   func() []Pair { return pairsOf(workloads.TopDownSet(), abi.All()...) },
 	})
 	register(&Experiment{
 		ID:      "fig7",
 		Title:   "Performance correlation matrix (hybrid vs purecap)",
 		Section: "§4.8, Figure 7",
 		Run:     runFig7,
+		Pairs:   func() []Pair { return pairsOf(workloads.All(), abi.Hybrid, abi.Purecap) },
 	})
 }
 

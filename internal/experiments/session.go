@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
 
 	"cherisim/internal/abi"
@@ -26,18 +27,44 @@ type RunData struct {
 	Err      error
 }
 
+// Pair names one (workload, ABI) measurement of the campaign grid.
+type Pair struct {
+	Workload *workloads.Workload
+	ABI      abi.ABI
+}
+
+// inflight is one singleflight cell: the first caller of a key owns the
+// execution and closes done; every later caller blocks on done and shares
+// the same RunData.
+type inflight struct {
+	done chan struct{}
+	data *RunData
+}
+
 // Session caches workload runs so experiments that share measurements
 // (e.g. Figure 1 and Table 3) execute each (workload, ABI) pair once, the
 // way the paper reuses one measurement campaign across its analyses.
+//
+// The session is safe for concurrent use: callers of the same
+// (workload, ABI) key are deduplicated onto a single in-flight execution
+// (singleflight), while distinct keys execute concurrently, bounded by a
+// worker pool of min(GOMAXPROCS, Jobs) simulated machines. Each execution
+// builds a private core.Machine, so parallel runs are deterministic and
+// their cached results are independent of scheduling order.
 type Session struct {
 	// Scale multiplies every workload's iteration counts.
 	Scale int
 	// Configure, when set, adjusts the machine configuration before a run
 	// (used by ablation experiments).
 	Configure func(*core.Config)
+	// Jobs caps the number of concurrently executing workloads. Values
+	// <= 0 default to GOMAXPROCS; the effective pool size is
+	// min(GOMAXPROCS, Jobs). Set it before the first Run/Prefetch call.
+	Jobs int
 
-	mu    sync.Mutex
-	cache map[string]*RunData
+	mu     sync.Mutex
+	flight map[string]*inflight
+	sem    chan struct{}
 }
 
 // NewSession creates a measurement session at the given workload scale.
@@ -45,17 +72,50 @@ func NewSession(scale int) *Session {
 	if scale < 1 {
 		scale = 1
 	}
-	return &Session{Scale: scale, cache: make(map[string]*RunData)}
+	return &Session{Scale: scale, flight: make(map[string]*inflight)}
+}
+
+// pool returns the worker-pool semaphore, building it on first use.
+// Callers must hold s.mu.
+func (s *Session) pool() chan struct{} {
+	if s.sem == nil {
+		n := s.Jobs
+		if g := runtime.GOMAXPROCS(0); n <= 0 || n > g {
+			n = g
+		}
+		s.sem = make(chan struct{}, n)
+	}
+	return s.sem
 }
 
 // Run returns the (cached) outcome of executing workload w under ABI a.
+// Concurrent calls for the same pair share one execution; calls for
+// different pairs proceed in parallel up to the worker-pool bound.
 func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 	key := w.Name + "/" + a.String()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if d, ok := s.cache[key]; ok {
-		return d
+	if s.flight == nil {
+		s.flight = make(map[string]*inflight)
 	}
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.data
+	}
+	c := &inflight{done: make(chan struct{})}
+	s.flight[key] = c
+	sem := s.pool()
+	s.mu.Unlock()
+
+	sem <- struct{}{} // acquire a worker-pool slot
+	c.data = s.execute(w, a)
+	<-sem
+	close(c.done)
+	return c.data
+}
+
+// execute performs one uncached workload run on a fresh machine.
+func (s *Session) execute(w *workloads.Workload, a abi.ABI) *RunData {
 	cfg := core.DefaultConfig(a)
 	if s.Configure != nil {
 		s.Configure(&cfg)
@@ -68,8 +128,68 @@ func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 		d.Topdown = topdown.Analyze(&m.C)
 		d.Heap = m.Heap.Stats()
 	}
-	s.cache[key] = d
 	return d
+}
+
+// Prefetch fans the given pairs out across the worker pool and blocks
+// until every one is cached. Duplicate pairs collapse onto one execution,
+// so prefetching the union of several experiments' needs is cheap.
+// Because each run is deterministic and isolated, a render after Prefetch
+// is byte-identical to the same render on a serial session.
+func (s *Session) Prefetch(pairs []Pair) {
+	var wg sync.WaitGroup
+	seen := make(map[string]bool, len(pairs))
+	for _, p := range pairs {
+		if p.Workload == nil {
+			continue
+		}
+		key := p.Workload.Name + "/" + p.ABI.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		wg.Add(1)
+		go func(p Pair) {
+			defer wg.Done()
+			s.Run(p.Workload, p.ABI)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// RunAll executes the full measurement campaign — every runnable workload
+// under every ABI — across the worker pool.
+func (s *Session) RunAll() {
+	s.Prefetch(CampaignGrid())
+}
+
+// CampaignGrid returns the paper's full measurement grid: the 20 runnable
+// workloads crossed with the three ABIs.
+func CampaignGrid() []Pair {
+	return pairsOf(workloads.All(), abi.All()...)
+}
+
+// pairsOf crosses a workload set with a list of ABIs.
+func pairsOf(ws []*workloads.Workload, abis ...abi.ABI) []Pair {
+	out := make([]Pair, 0, len(ws)*len(abis))
+	for _, w := range ws {
+		for _, a := range abis {
+			out = append(out, Pair{Workload: w, ABI: a})
+		}
+	}
+	return out
+}
+
+// namedPairs is pairsOf with a name lookup; unknown names are skipped
+// (prefetching is best-effort — rendering reports the real error).
+func namedPairs(names []string, abis ...abi.ABI) []Pair {
+	var ws []*workloads.Workload
+	for _, n := range names {
+		if w, err := workloads.ByName(n); err == nil {
+			ws = append(ws, w)
+		}
+	}
+	return pairsOf(ws, abis...)
 }
 
 // RunByName is Run with a workload name lookup.
@@ -81,8 +201,8 @@ func (s *Session) RunByName(name string, a abi.ABI) (*RunData, error) {
 	return s.Run(w, a), nil
 }
 
-// Seconds returns the simulated execution time for (w, a), or NaN-free 0
-// when the run faulted.
+// Seconds returns the simulated execution time for (w, a) in seconds, or
+// 0 when the run faulted (so downstream ratios stay NaN-free).
 func (s *Session) Seconds(w *workloads.Workload, a abi.ABI) float64 {
 	d := s.Run(w, a)
 	if d.Err != nil {

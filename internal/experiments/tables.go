@@ -17,24 +17,28 @@ func init() {
 		Title:   "Key PMU events and derived metrics",
 		Section: "§3.2, Table 1",
 		Run:     runTable1,
+		Pairs:   func() []Pair { return namedPairs([]string{"sqlite"}, abi.Purecap) },
 	})
 	register(&Experiment{
 		ID:      "table2",
 		Title:   "Benchmark memory intensity values",
 		Section: "§3.3, Table 2",
 		Run:     runTable2,
+		Pairs:   func() []Pair { return pairsOf(workloads.All(), abi.Hybrid) },
 	})
 	register(&Experiment{
 		ID:      "table3",
 		Title:   "Aggregated key performance metrics (12 benchmarks x 3 ABIs)",
 		Section: "§4, Table 3",
 		Run:     runTable3,
+		Pairs:   func() []Pair { return pairsOf(workloads.Selected(), abi.All()...) },
 	})
 	register(&Experiment{
 		ID:      "table4",
 		Title:   "Top-down analysis breakdown (6 workloads x 3 ABIs; covers Figure 3)",
 		Section: "§4.4, Table 4 / Figure 3",
 		Run:     runTable4,
+		Pairs:   func() []Pair { return pairsOf(workloads.TopDownSet(), abi.All()...) },
 	})
 }
 

@@ -39,30 +39,63 @@ type Stats struct {
 // replacement (adequate at these sizes and matches N1 behaviour closely).
 // A map index keeps lookups O(1); the LRU victim scan runs only on
 // insertion after a miss.
+//
+// A one-entry last-translation memo (lastVPN/lastSlot) fronts the map:
+// workload access streams overwhelmingly stay on one page across
+// consecutive references, and the memo turns those lookups into two
+// compares instead of a map probe. The memo is a verified hint — the slot
+// is re-checked against valid+vpn, so eviction can never fabricate a hit —
+// and its accounting (access count, LRU touch) is identical to the slow
+// path's.
 type TLB struct {
-	cfg     Config
-	entries []entry
-	index   map[uint64]int // vpn -> entry slot
-	seq     uint64
-	Stats   Stats
+	cfg      Config
+	entries  []entry
+	index    map[uint64]int // vpn -> entry slot
+	seq      uint64
+	lastVPN  uint64
+	lastSlot int // -1 when the memo is empty
+	Stats    Stats
 }
 
 // New builds a TLB from its configuration.
 func New(cfg Config) *TLB {
 	return &TLB{
-		cfg:     cfg,
-		entries: make([]entry, cfg.Entries),
-		index:   make(map[uint64]int, cfg.Entries),
+		cfg:      cfg,
+		entries:  make([]entry, cfg.Entries),
+		index:    make(map[uint64]int, cfg.Entries),
+		lastSlot: -1,
 	}
+}
+
+// fastHit records an L1-identical hit for vpn through the memo, or reports
+// false (without touching stats) when the memo does not cover vpn.
+func (t *TLB) fastHit(vpn uint64) bool {
+	i := t.lastSlot
+	if i < 0 || t.lastVPN != vpn {
+		return false
+	}
+	e := &t.entries[i]
+	if !e.valid || e.vpn != vpn {
+		t.lastSlot = -1 // evicted underneath the memo
+		return false
+	}
+	t.Stats.Accesses++
+	t.seq++
+	e.lru = t.seq
+	return true
 }
 
 // Lookup translates addr, returning whether the translation hit this level.
 func (t *TLB) Lookup(addr uint64) bool {
-	t.Stats.Accesses++
 	vpn := addr >> t.cfg.PageLog
+	if t.fastHit(vpn) {
+		return true
+	}
+	t.Stats.Accesses++
 	t.seq++
 	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
 		t.entries[i].lru = t.seq
+		t.lastVPN, t.lastSlot = vpn, i
 		return true
 	}
 	t.Stats.Misses++
@@ -89,6 +122,7 @@ func (t *TLB) Insert(addr uint64) {
 	}
 	t.entries[victim] = entry{vpn: vpn, valid: true, lru: t.seq}
 	t.index[vpn] = victim
+	t.lastVPN, t.lastSlot = vpn, victim
 }
 
 // InvalidateAll flushes the TLB.
@@ -97,6 +131,7 @@ func (t *TLB) InvalidateAll() {
 		t.entries[i] = entry{}
 	}
 	t.index = make(map[uint64]int, t.cfg.Entries)
+	t.lastSlot = -1
 }
 
 // Hierarchy bundles an L1 TLB with the shared L2 TLB and the walker, and
@@ -113,6 +148,16 @@ type Hierarchy struct {
 // NewHierarchy builds an L1+shared-L2 translation path.
 func NewHierarchy(l1 Config, l2 *TLB) *Hierarchy {
 	return &Hierarchy{L1: New(l1), L2: l2}
+}
+
+// FastHit resolves addr through the L1 TLB's last-translation memo alone:
+// it reports true — with the exact stats and LRU accounting of an L1
+// Lookup hit — when addr's page is the one the L1 translated last, and
+// false (with no accounting at all) otherwise, in which case the caller
+// must run the full Translate. It lets the per-access translation hot
+// path skip the hierarchy walk entirely for same-page runs.
+func (h *Hierarchy) FastHit(addr uint64) bool {
+	return h.L1.fastHit(addr >> h.L1.cfg.PageLog)
 }
 
 // Translate runs the full translation for addr and returns the added

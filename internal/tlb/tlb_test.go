@@ -106,3 +106,137 @@ func TestStatsCounts(t *testing.T) {
 		t.Errorf("stats = %+v", tb.Stats)
 	}
 }
+
+// refTLB is the pre-memo reference model of one TLB level: map-probed
+// lookup, LRU-scan insert. The last-translation memo must stay
+// bit-identical to it in stats, LRU ordering and replacement.
+type refTLB struct {
+	cfg     Config
+	entries []entry
+	index   map[uint64]int
+	seq     uint64
+	stats   Stats
+}
+
+func newRefTLB(cfg Config) *refTLB {
+	return &refTLB{cfg: cfg, entries: make([]entry, cfg.Entries), index: make(map[uint64]int, cfg.Entries)}
+}
+
+func (t *refTLB) lookup(addr uint64) bool {
+	t.stats.Accesses++
+	vpn := addr >> t.cfg.PageLog
+	t.seq++
+	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
+		t.entries[i].lru = t.seq
+		return true
+	}
+	t.stats.Misses++
+	return false
+}
+
+func (t *refTLB) insert(addr uint64) {
+	vpn := addr >> t.cfg.PageLog
+	t.seq++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	if v := &t.entries[victim]; v.valid {
+		delete(t.index, v.vpn)
+	}
+	t.entries[victim] = entry{vpn: vpn, valid: true, lru: t.seq}
+	t.index[vpn] = victim
+}
+
+type refHierarchy struct {
+	l1, l2 *refTLB
+	walks  uint64
+}
+
+func (h *refHierarchy) translate(addr uint64) uint64 {
+	if h.l1.lookup(addr) {
+		return 0
+	}
+	if h.l2.lookup(addr) {
+		h.l1.insert(addr)
+		return 5
+	}
+	h.walks++
+	h.l2.insert(addr)
+	h.l1.insert(addr)
+	return WalkLatency
+}
+
+// TestHierarchyMatchesReferenceModel drives the memoized hierarchy exactly
+// as internal/core does (FastHit first, Translate on memo miss) against
+// the reference model with identical address streams, including enough
+// distinct pages to force L1 evictions under the memo.
+func TestHierarchyMatchesReferenceModel(t *testing.T) {
+	small := Config{Name: "L1", Entries: 4, PageLog: 12}
+	l2cfg := Config{Name: "L2", Entries: 16, PageLog: 12}
+	opt := NewHierarchy(small, New(l2cfg))
+	ref := &refHierarchy{l1: newRefTLB(small), l2: newRefTLB(l2cfg)}
+
+	seed := uint64(7)
+	var last uint64
+	for i := 0; i < 50000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		var addr uint64
+		switch seed % 4 {
+		case 0, 1: // same-page run (memo territory)
+			addr = last&^0xfff | (seed >> 32 & 0xfff)
+		case 2: // small working set
+			addr = (seed >> 16 % 8) << 12
+		default: // wide sweep forcing evictions
+			addr = (seed >> 16 % 64) << 12
+		}
+		last = addr
+		var got uint64
+		if opt.FastHit(addr) {
+			got = 0
+		} else {
+			got = opt.Translate(addr)
+		}
+		if want := ref.translate(addr); got != want {
+			t.Fatalf("step %d addr %#x: latency %d, want %d", i, addr, got, want)
+		}
+	}
+	if opt.L1.Stats != ref.l1.stats {
+		t.Fatalf("L1 stats diverged: %+v vs %+v", opt.L1.Stats, ref.l1.stats)
+	}
+	if opt.L2.Stats != ref.l2.stats {
+		t.Fatalf("L2 stats diverged: %+v vs %+v", opt.L2.Stats, ref.l2.stats)
+	}
+	if opt.Walks != ref.walks {
+		t.Fatalf("walks %d, want %d", opt.Walks, ref.walks)
+	}
+}
+
+// TestMemoInvalidation checks the memo cannot produce a hit after a flush
+// or after its entry is evicted by inserts.
+func TestMemoInvalidation(t *testing.T) {
+	tb := New(Config{Name: "t", Entries: 2, PageLog: 12})
+	tb.Insert(0x1000)
+	if !tb.Lookup(0x1000) {
+		t.Fatal("warm lookup missed")
+	}
+	tb.InvalidateAll()
+	if tb.Lookup(0x1000) {
+		t.Fatal("memo hit after InvalidateAll")
+	}
+	tb.Insert(0x1000)
+	tb.Lookup(0x1000)
+	tb.Insert(0x2000)
+	tb.Insert(0x3000) // evicts page 1 (LRU scan may reuse its slot)
+	tb.Insert(0x4000)
+	if tb.fastHit(0x1) {
+		t.Fatal("memo fast hit for an evicted page")
+	}
+}
