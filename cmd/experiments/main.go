@@ -9,10 +9,20 @@
 //	experiments -all -scale 3    # run workloads at 3x length
 //	experiments -all -jobs 8     # fan the measurement campaign over 8 workers
 //
+// Chaos mode injects deterministic capability faults into every run:
+//
+//	experiments -run resilience -chaos-seed 7   # seeded crash-matrix sweep
+//	experiments -all -chaos all                 # inject into the whole campaign
+//	experiments -all -chaos tag-clear,perm-drop -chaos-rate 200
+//	experiments -all -deadline 50000000         # per-run µop watchdog budget
+//
 // The (workload, ABI) measurement grid is prefetched across a worker pool
 // of -jobs simulated machines before rendering; because every run is
 // deterministic and isolated, the rendered output is byte-identical for
-// any -jobs value (including the fully serial -jobs 1).
+// any -jobs value (including the fully serial -jobs 1). With -chaos off
+// the output is also byte-identical to a chaos-unaware build; the campaign
+// is supervised either way, so a crashing or runaway workload degrades its
+// experiment into the error summary instead of aborting the process.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"runtime"
 
 	"cherisim/internal/experiments"
+	"cherisim/internal/faultinject"
 )
 
 func main() {
@@ -31,11 +42,23 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
 		"max concurrently simulated workloads (1 = serial; capped at GOMAXPROCS)")
+	chaos := flag.String("chaos", "",
+		`inject capability faults into every run: "all" or comma-separated kinds (tag-clear, line-corrupt, bounds-truncate, perm-drop, spurious-trap)`)
+	chaosSeed := flag.Uint64("chaos-seed", 1, "campaign seed for the deterministic fault injector")
+	chaosRate := flag.Float64("chaos-rate", 400, "injected events per million µops when -chaos is set")
+	deadline := flag.Uint64("deadline", 0, "per-run µop watchdog budget (0 = unlimited)")
+	retries := flag.Int("retries", 2, "bounded retries for transient injected faults")
 	flag.Parse()
+
+	cfg, err := sessionConfig(*jobs, *chaos, *chaosRate, *chaosSeed, *deadline, *retries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	newSession := func() *experiments.Session {
 		s := experiments.NewSession(*scale)
-		s.Jobs = *jobs
+		cfg.apply(s)
 		return s
 	}
 
@@ -63,22 +86,62 @@ func main() {
 		}
 		fmt.Printf("== %s (%s) ==\n%s\n", e.Title, e.Section, out)
 	case *all:
-		s := newSession()
-		// Execute the union of every experiment's measurement grid across
-		// the worker pool up front; rendering below then only reads the
-		// cache, so output order and bytes match the serial path exactly.
-		s.Prefetch(experiments.UnionPairs(experiments.All()))
-		for _, e := range experiments.All() {
-			out, err := e.Run(s)
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", e.ID, err))
+		// Degraded-mode campaign: render every experiment that succeeds,
+		// summarise the rest, and reflect failures in the exit code.
+		failed := experiments.RenderAll(newSession(), os.Stdout)
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed:\n", len(failed), len(experiments.All()))
+			for _, f := range failed {
+				fmt.Fprintf(os.Stderr, "  %-20s %v\n", f.ID, f.Err)
 			}
-			fmt.Printf("== %s: %s (%s) ==\n%s\n", e.ID, e.Title, e.Section, out)
+			os.Exit(1)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// sessionCfg is the validated supervisor configuration applied to every
+// session the command builds.
+type sessionCfg struct {
+	jobs     int
+	chaos    *faultinject.Config
+	seed     uint64
+	deadline uint64
+	retries  int
+}
+
+// sessionConfig validates the CLI inputs: negative -jobs, unknown -chaos
+// fault kinds, negative rates/retries are rejected before any work runs.
+func sessionConfig(jobs int, chaos string, rate float64, seed uint64, deadline uint64, retries int) (*sessionCfg, error) {
+	if jobs < 0 {
+		return nil, fmt.Errorf("-jobs must be >= 0, got %d", jobs)
+	}
+	if retries < 0 {
+		return nil, fmt.Errorf("-retries must be >= 0, got %d", retries)
+	}
+	cfg := &sessionCfg{jobs: jobs, seed: seed, deadline: deadline, retries: retries}
+	if chaos != "" {
+		if rate <= 0 {
+			return nil, fmt.Errorf("-chaos-rate must be > 0, got %g", rate)
+		}
+		kinds, err := faultinject.ParseKinds(chaos)
+		if err != nil {
+			return nil, err
+		}
+		cfg.chaos = &faultinject.Config{Seed: seed, RatePerMUops: rate, Kinds: kinds}
+	}
+	return cfg, nil
+}
+
+// apply installs the configuration on a fresh session.
+func (c *sessionCfg) apply(s *experiments.Session) {
+	s.Jobs = c.jobs
+	s.Chaos = c.chaos
+	s.ChaosSeed = c.seed
+	s.DeadlineUops = c.deadline
+	s.Retries = c.retries
 }
 
 func fatal(err error) {

@@ -178,6 +178,34 @@ func (h *Heap) DrainQuarantine() []Range {
 	return out
 }
 
+// LiveCount returns the number of live allocations.
+func (h *Heap) LiveCount() int { return len(h.sorted) }
+
+// LiveRange returns the i-th live allocation in base-address order. It is
+// the fault injector's deterministic victim-selection primitive: picking an
+// index from a seeded RNG always lands on the same allocation.
+func (h *Heap) LiveRange(i int) Range {
+	if i < 0 || i >= len(h.sorted) {
+		return Range{}
+	}
+	base := h.sorted[i]
+	return Range{Base: base, Size: h.live[base]}
+}
+
+// Truncate shrinks the live allocation at base to newSize bytes (metadata
+// only — models an injected capability-bounds truncation: accesses beyond
+// the new size now fail their spatial check). newSize must be smaller than
+// the current size and positive; Truncate reports whether it applied.
+func (h *Heap) Truncate(base, newSize uint64) bool {
+	size, ok := h.live[base]
+	if !ok || newSize == 0 || newSize >= size {
+		return false
+	}
+	h.live[base] = newSize
+	h.liveBytes -= size - newSize
+	return true
+}
+
 // SizeOf returns the usable size of the live allocation at addr, or false
 // if addr is not a live allocation base.
 func (h *Heap) SizeOf(addr uint64) (uint64, bool) {

@@ -196,3 +196,61 @@ func TestAllocPropertyUsableSize(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTruncate(t *testing.T) {
+	h := newHeap(abi.Purecap)
+	a, err := h.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.Stats()
+	if !h.Truncate(a, 128) {
+		t.Fatal("valid truncation refused")
+	}
+	if s, ok := h.SizeOf(a); !ok || s != 128 {
+		t.Fatalf("SizeOf after truncate = %d, %v", s, ok)
+	}
+	after := h.Stats()
+	if after.LiveBytes != before.LiveBytes-128 {
+		t.Fatalf("liveBytes %d -> %d, want -128", before.LiveBytes, after.LiveBytes)
+	}
+	// Owner-based spatial checks must now reject the truncated tail.
+	if _, size, ok := h.Owner(a + 64); !ok || size != 128 {
+		t.Fatalf("Owner after truncate: size=%d ok=%v", size, ok)
+	}
+	// Invalid truncations: growing, zero, same size, unknown base.
+	if h.Truncate(a, 256) || h.Truncate(a, 128) || h.Truncate(a, 0) || h.Truncate(a+16, 64) {
+		t.Fatal("invalid truncation applied")
+	}
+	// The truncated allocation still frees cleanly.
+	if err := h.Free(a); err != nil {
+		t.Fatalf("free after truncate: %v", err)
+	}
+}
+
+func TestLiveRangeDeterministicOrder(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	var bases []uint64
+	for i := 0; i < 8; i++ {
+		a, err := h.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, a)
+	}
+	if h.LiveCount() != 8 {
+		t.Fatalf("LiveCount = %d", h.LiveCount())
+	}
+	for i := 1; i < h.LiveCount(); i++ {
+		if h.LiveRange(i).Base <= h.LiveRange(i-1).Base {
+			t.Fatal("LiveRange not in base order")
+		}
+	}
+	if r := h.LiveRange(-1); r != (Range{}) {
+		t.Fatalf("LiveRange(-1) = %+v", r)
+	}
+	if r := h.LiveRange(8); r != (Range{}) {
+		t.Fatalf("LiveRange(len) = %+v", r)
+	}
+	_ = bases
+}

@@ -68,3 +68,44 @@ func FuzzRepresentableRounding(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDerivationMonotonic checks CHERI's monotonicity property on the two
+// derivations the fault injector and allocator rely on: SetBounds and
+// ClearPerms can only shrink authority — never widen bounds, regain
+// permissions, or conjure a valid tag from an invalid one.
+func FuzzDerivationMonotonic(f *testing.F) {
+	f.Add(uint64(0x4000_0000), uint64(1<<16), uint64(0x4000_1000), uint64(256), uint32(0xffff))
+	f.Add(uint64(0), uint64(1<<40), uint64(1<<20), uint64(1<<10), uint32(0))
+	f.Fuzz(func(t *testing.T, base, length, nbase, nlength uint64, permBits uint32) {
+		base %= 1 << 48
+		length %= 1 << 40
+		nbase %= 1 << 48
+		nlength %= 1 << 40
+		c := New(base, length, Perms(permBits)&PermsAll)
+
+		d, err := c.WithAddress(nbase).SetBounds(nbase, nlength)
+		if err == nil && d.Valid() {
+			if !c.Valid() {
+				t.Fatal("SetBounds revived an invalid capability")
+			}
+			if d.Base() < c.Base() || (!c.TopIsFull() && (d.TopIsFull() || d.Top() > c.Top())) {
+				t.Fatalf("SetBounds widened bounds:\nparent [%#x,%#x)\n child [%#x,%#x)",
+					c.Base(), c.Top(), d.Base(), d.Top())
+			}
+			if d.Perms()&^c.Perms() != 0 {
+				t.Fatalf("SetBounds added perms: %v -> %v", c.Perms(), d.Perms())
+			}
+		}
+
+		p := c.ClearPerms(Perms(permBits >> 16))
+		if p.Perms()&^c.Perms() != 0 {
+			t.Fatalf("ClearPerms added perms: %v -> %v", c.Perms(), p.Perms())
+		}
+		if p.Valid() && !c.Valid() {
+			t.Fatal("ClearPerms revived an invalid capability")
+		}
+		if p.Base() != c.Base() || p.Top() != c.Top() || p.TopIsFull() != c.TopIsFull() {
+			t.Fatal("ClearPerms moved bounds")
+		}
+	})
+}

@@ -366,6 +366,13 @@ func (m *Machine) LoadPtr(p Ptr) Ptr {
 		m.fault("loadptr", addr, err)
 	}
 	c := cap.Decode(enc, m.Mem.TagAt(addr))
+	// A valid capability stripped of its load permission (CLRPERM, or an
+	// injected permission drop) cannot authorise the dereference this
+	// pointer exists for; surface the violation at the load. Untagged slots
+	// (NULL, plain integers) pass — their dereference faults on the tag.
+	if c.Valid() && !c.Perms().Has(cap.PermLoad) {
+		m.fault("loadptr", addr, cap.ErrPermViolation)
+	}
 	return Ptr(c.Address())
 }
 

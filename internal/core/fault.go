@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cherisim/internal/cap"
+)
+
+// FaultKind classifies a simulated fault for the resilience taxonomy: the
+// fatal capability-violation classes behind the paper's Appendix Table 5
+// "in-address-space security exception" crashes, the allocator failures,
+// and the transient injected events (internal/faultinject) that a
+// supervised campaign retries instead of reporting as crashes.
+type FaultKind int
+
+// Fault kinds, from most common hardware trap class to supervisor-level.
+const (
+	// KindUnknown marks a fault whose cause matched no known class.
+	KindUnknown FaultKind = iota
+	// KindTag is a tag violation: an untagged capability was dereferenced
+	// (pointer laundering, use-after-overwrite, injected tag clears).
+	KindTag
+	// KindBounds is a spatial bounds violation.
+	KindBounds
+	// KindPerm is a permission violation.
+	KindPerm
+	// KindSeal is a seal violation (sealed capability used directly).
+	KindSeal
+	// KindUnrepresentable marks bounds that CHERI Concentrate cannot encode.
+	KindUnrepresentable
+	// KindAlloc is an allocator failure (heap exhaustion, invalid free).
+	KindAlloc
+	// KindSpurious is a transient injected trap: the hardware delivered an
+	// exception but no architectural state was corrupted, so a supervised
+	// re-run may succeed. Only the fault injector produces these.
+	KindSpurious
+)
+
+var faultKindNames = [...]string{
+	KindUnknown:         "unknown",
+	KindTag:             "tag",
+	KindBounds:          "bounds",
+	KindPerm:            "perm",
+	KindSeal:            "seal",
+	KindUnrepresentable: "unrepresentable",
+	KindAlloc:           "alloc",
+	KindSpurious:        "spurious",
+}
+
+// String returns the short lower-case class name.
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("faultkind(%d)", int(k))
+}
+
+// classifyFault maps a fault's cause error (and, for allocator errors that
+// carry no sentinel, its operation) onto the taxonomy.
+func classifyFault(op string, cause error) FaultKind {
+	switch {
+	case errors.Is(cause, cap.ErrTagViolation):
+		return KindTag
+	case errors.Is(cause, cap.ErrBoundsViolation):
+		return KindBounds
+	case errors.Is(cause, cap.ErrPermViolation):
+		return KindPerm
+	case errors.Is(cause, cap.ErrSealViolation):
+		return KindSeal
+	case errors.Is(cause, cap.ErrUnrepresentable):
+		return KindUnrepresentable
+	case op == "alloc" || op == "free":
+		return KindAlloc
+	}
+	return KindUnknown
+}
+
+// Fault is a simulated in-address-space security exception: the hardware
+// detected a capability violation and delivered SIGPROT. Transient faults
+// (injected trap deliveries that corrupted no state) are distinguished so a
+// supervisor can retry the run instead of counting a crash.
+type Fault struct {
+	Kind      FaultKind
+	PC        uint64
+	Addr      uint64
+	Cause     error
+	Op        string
+	Transient bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Transient {
+		return fmt.Sprintf("transient fault (%s): %s at pc=%#x addr=%#x: %v", f.Kind, f.Op, f.PC, f.Addr, f.Cause)
+	}
+	return fmt.Sprintf("capability fault: %s at pc=%#x addr=%#x: %v", f.Op, f.PC, f.Addr, f.Cause)
+}
+
+// Unwrap exposes the underlying capability error class.
+func (f *Fault) Unwrap() error { return f.Cause }
+
+// DeadlineError reports that a run exceeded its supervisor-imposed µop
+// budget (the campaign watchdog): the workload was still executing when the
+// budget ran out, so its counters cover only the executed prefix.
+type DeadlineError struct {
+	Uops   uint64 // µops executed when the watchdog fired
+	Budget uint64 // the configured budget
+}
+
+// Error implements the error interface.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("deadline exceeded: %d uops executed, budget %d", e.Uops, e.Budget)
+}
+
+// PanicError is a non-Fault panic that escaped a workload body, captured by
+// Machine.Run so one buggy kernel cannot take down a whole measurement
+// campaign. Workload is filled in by the runner that knows the name.
+type PanicError struct {
+	Workload string
+	Value    any
+	Uops     uint64 // µop position of the panic
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	name := e.Workload
+	if name == "" {
+		name = "workload"
+	}
+	return fmt.Sprintf("panic in %s at uop %d: %v", name, e.Uops, e.Value)
+}
+
+// IsTransient reports whether err represents a transient event (an injected
+// trap delivery) that a supervised re-run may clear, as opposed to a fatal
+// capability violation, deadline or panic.
+func IsTransient(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Transient
+}

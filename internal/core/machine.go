@@ -9,8 +9,6 @@
 package core
 
 import (
-	"fmt"
-
 	"cherisim/internal/abi"
 	"cherisim/internal/alloc"
 	"cherisim/internal/branch"
@@ -270,16 +268,24 @@ func (m *Machine) SetQuantum(uops uint64, fn func()) {
 
 // Run executes the workload body, catching simulated capability faults,
 // and finalizes cycle accounting into the PMU counters.
+//
+// Run never re-panics: a simulated capability fault surfaces as the *Fault
+// error, a watchdog trip as *DeadlineError, and any other panic escaping
+// the body is contained as a *PanicError (with the µop position) so one
+// buggy kernel cannot abort a whole measurement campaign. In every case
+// the counters are finalized over the executed prefix.
 func (m *Machine) Run(body func(*Machine)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if f, ok := r.(*Fault); ok {
-				m.faulted = f
-				err = f
-				m.finalize()
-				return
+			switch v := r.(type) {
+			case *Fault:
+				m.faulted = v
+				err = v
+			case *DeadlineError:
+				err = v
+			default:
+				err = &PanicError{Value: v, Uops: m.classUops}
 			}
-			panic(r)
 		}
 		m.finalize()
 	}()
@@ -348,23 +354,19 @@ func (m *Machine) IPC() float64 { return m.C.Ratio(pmu.INST_RETIRED, pmu.CPU_CYC
 // Fault returns the capability fault that terminated the run, if any.
 func (m *Machine) Fault() *Fault { return m.faulted }
 
-// Fault is a simulated in-address-space security exception: the hardware
-// detected a capability violation and delivered SIGPROT.
-type Fault struct {
-	PC    uint64
-	Addr  uint64
-	Cause error
-	Op    string
-}
+// Uops returns the number of classified µops executed so far (the
+// supervisor's notion of run progress, used by watchdog deadlines and
+// panic positions).
+func (m *Machine) Uops() uint64 { return m.classUops }
 
-// Error implements the error interface.
-func (f *Fault) Error() string {
-	return fmt.Sprintf("capability fault: %s at pc=%#x addr=%#x: %v", f.Op, f.PC, f.Addr, f.Cause)
-}
+// PC returns the current fetch program counter.
+func (m *Machine) PC() uint64 { return m.fetchPC }
 
-// Unwrap exposes the underlying capability error class.
-func (f *Fault) Unwrap() error { return f.Cause }
+// DropOwnerCache invalidates the machine's cached owning-allocation range.
+// The fault injector must call it after mutating heap-allocation metadata
+// (bounds truncation) so the next spatial check consults the heap afresh.
+func (m *Machine) DropOwnerCache() { m.ownBase, m.ownSize = 0, 0 }
 
 func (m *Machine) fault(op string, addr uint64, cause error) {
-	panic(&Fault{PC: m.fetchPC, Addr: addr, Cause: cause, Op: op})
+	panic(&Fault{Kind: classifyFault(op, cause), PC: m.fetchPC, Addr: addr, Cause: cause, Op: op})
 }

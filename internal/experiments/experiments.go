@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -45,6 +46,32 @@ func UnionPairs(exps []*Experiment) []Pair {
 		}
 	}
 	return out
+}
+
+// RenderError pairs a failed experiment with its error, for the degraded
+// campaign summary.
+type RenderError struct {
+	ID  string
+	Err error
+}
+
+// RenderAll runs every experiment against s in degraded mode: the full
+// measurement grid is prefetched across the worker pool, every experiment
+// that renders is written to out (same bytes as rendering them one by one),
+// and the ones that fail are collected — not fatal — so one crashed or
+// injected-away measurement cannot abort the rest of the campaign.
+func RenderAll(s *Session, out io.Writer) []RenderError {
+	s.Prefetch(UnionPairs(All()))
+	var failed []RenderError
+	for _, e := range All() {
+		txt, err := e.Run(s)
+		if err != nil {
+			failed = append(failed, RenderError{ID: e.ID, Err: err})
+			continue
+		}
+		fmt.Fprintf(out, "== %s: %s (%s) ==\n%s\n", e.ID, e.Title, e.Section, txt)
+	}
+	return failed
 }
 
 var registry = map[string]*Experiment{}

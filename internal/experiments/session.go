@@ -12,6 +12,7 @@ import (
 	"cherisim/internal/abi"
 	"cherisim/internal/alloc"
 	"cherisim/internal/core"
+	"cherisim/internal/faultinject"
 	"cherisim/internal/metrics"
 	"cherisim/internal/pmu"
 	"cherisim/internal/topdown"
@@ -25,6 +26,13 @@ type RunData struct {
 	Topdown  topdown.Breakdown
 	Heap     alloc.Stats
 	Err      error
+	// Attempts counts executions of this pair: 1 for an undisturbed run,
+	// more when transient injected faults were retried. Counters and
+	// Injected describe the final attempt.
+	Attempts int
+	// Injected lists the fault injections performed during the final
+	// attempt (nil when the session runs without chaos).
+	Injected []faultinject.Event
 }
 
 // Pair names one (workload, ABI) measurement of the campaign grid.
@@ -61,6 +69,23 @@ type Session struct {
 	// <= 0 default to GOMAXPROCS; the effective pool size is
 	// min(GOMAXPROCS, Jobs). Set it before the first Run/Prefetch call.
 	Jobs int
+
+	// Chaos, when non-nil, attaches a deterministic fault injector to
+	// every run. Each (workload, ABI, attempt) cell derives its own seed
+	// from Chaos.Seed, so campaign results are order-independent and
+	// reproducible. See internal/faultinject.
+	Chaos *faultinject.Config
+	// ChaosSeed is the campaign seed the resilience experiment sweeps
+	// with; it applies even when Chaos is nil (0 means 1).
+	ChaosSeed uint64
+	// DeadlineUops, when > 0, bounds every run's executed µops: the
+	// watchdog aborts a run crossing the budget with a *core.DeadlineError
+	// instead of letting a runaway workload stall the campaign.
+	DeadlineUops uint64
+	// Retries bounds the deterministic re-execution of runs that failed
+	// with a transient injected fault (core.IsTransient). Fatal capability
+	// violations, deadlines and panics are never retried.
+	Retries int
 
 	mu     sync.Mutex
 	flight map[string]*inflight
@@ -114,14 +139,59 @@ func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 	return c.data
 }
 
-// execute performs one uncached workload run on a fresh machine.
+// execute performs one supervised workload run: up to 1+Retries attempts
+// on fresh machines, retrying only transient injected faults. The retry
+// schedule is deterministic — attempt k of a pair always replays the same
+// fault schedule, independent of pool scheduling.
 func (s *Session) execute(w *workloads.Workload, a abi.ABI) *RunData {
+	for attempt := 0; ; attempt++ {
+		d := s.executeOnce(w, a, attempt)
+		d.Attempts = attempt + 1
+		if d.Err == nil || attempt >= s.Retries || !core.IsTransient(d.Err) {
+			return d
+		}
+	}
+}
+
+// executeOnce performs one uncached workload run on a fresh machine,
+// installing the watchdog/injector quantum hook when the session is
+// configured for supervision.
+func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int) *RunData {
 	cfg := core.DefaultConfig(a)
 	if s.Configure != nil {
 		s.Configure(&cfg)
 	}
-	m, err := workloads.ExecuteConfig(w, cfg, s.Scale)
+	var inj *faultinject.Injector
+	var setup func(*core.Machine)
+	if s.Chaos != nil || s.DeadlineUops > 0 {
+		if s.Chaos != nil {
+			c := *s.Chaos
+			c.Seed = faultinject.RunSeed(c.Seed, w.Name, a.String(), attempt)
+			inj = faultinject.New(c)
+		}
+		deadline := s.DeadlineUops
+		setup = func(m *core.Machine) {
+			quantum := uint64(faultinject.DefaultQuantum)
+			if inj != nil {
+				quantum = inj.Quantum()
+			}
+			var executed uint64
+			m.SetQuantum(quantum, func() {
+				executed += quantum
+				if deadline > 0 && executed >= deadline {
+					panic(&core.DeadlineError{Uops: executed, Budget: deadline})
+				}
+				if inj != nil {
+					inj.Step(m)
+				}
+			})
+		}
+	}
+	m, err := workloads.ExecuteHooked(w, cfg, s.Scale, setup)
 	d := &RunData{Err: err}
+	if inj != nil {
+		d.Injected = inj.Events()
+	}
 	if m != nil {
 		d.Counters = m.C
 		d.Metrics = metrics.Compute(&m.C)

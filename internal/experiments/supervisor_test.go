@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/faultinject"
+	"cherisim/internal/workloads"
+)
+
+func mustWorkload(t *testing.T, name string) *workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// chaosSession builds a supervised session with the given injector config.
+func chaosSession(cfg *faultinject.Config, retries int) *Session {
+	s := NewSession(1)
+	s.Chaos = cfg
+	s.Retries = retries
+	return s
+}
+
+// TestDeterministicRetry runs the same chaotic pair in two fresh sessions
+// with one seed: the fault schedules, retry counts and final counters must
+// be identical, independent of pool scheduling.
+func TestDeterministicRetry(t *testing.T) {
+	w := mustWorkload(t, "525.x264_r")
+	cfg := &faultinject.Config{
+		Seed:         42,
+		RatePerMUops: 30,
+		Kinds:        []faultinject.Kind{faultinject.KindSpuriousTrap},
+	}
+	run := func() *RunData {
+		return chaosSession(cfg, 2).Run(w, abi.Purecap)
+	}
+	d1, d2 := run(), run()
+	if d1.Attempts != d2.Attempts {
+		t.Fatalf("attempts diverged: %d vs %d", d1.Attempts, d2.Attempts)
+	}
+	if !reflect.DeepEqual(d1.Injected, d2.Injected) {
+		t.Fatalf("fault schedules diverged:\n%v\n%v", d1.Injected, d2.Injected)
+	}
+	if d1.Counters != d2.Counters {
+		t.Fatalf("counters diverged:\n%+v\n%+v", d1.Counters, d2.Counters)
+	}
+	if (d1.Err == nil) != (d2.Err == nil) ||
+		(d1.Err != nil && d1.Err.Error() != d2.Err.Error()) {
+		t.Fatalf("outcomes diverged: %v vs %v", d1.Err, d2.Err)
+	}
+	if d1.Attempts < 1 {
+		t.Fatalf("attempts = %d", d1.Attempts)
+	}
+}
+
+// TestTransientRetriesAreBounded saturates the spurious-trap rate so every
+// attempt dies: the supervisor must stop after 1+Retries attempts and the
+// final error must still be transient.
+func TestTransientRetriesAreBounded(t *testing.T) {
+	w := mustWorkload(t, "525.x264_r")
+	cfg := &faultinject.Config{
+		Seed:         7,
+		RatePerMUops: 1000,
+		Kinds:        []faultinject.Kind{faultinject.KindSpuriousTrap},
+	}
+	d := chaosSession(cfg, 2).Run(w, abi.Hybrid)
+	if d.Err == nil {
+		t.Fatal("saturated spurious traps survived")
+	}
+	if d.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", d.Attempts)
+	}
+	if !core.IsTransient(d.Err) {
+		t.Fatalf("final error not transient: %v", d.Err)
+	}
+}
+
+// TestWatchdogDeadline gives every run a 1M-µop budget: a short workload
+// passes untouched while a long one is aborted with a structured deadline
+// error — and the pool keeps draining the rest of the grid either way.
+func TestWatchdogDeadline(t *testing.T) {
+	short := mustWorkload(t, "525.x264_r") // ~420k µops at scale 1
+	long := mustWorkload(t, "519.lbm_r")   // ~5.3M µops at scale 1
+	s := NewSession(1)
+	s.DeadlineUops = 1_000_000
+	s.Jobs = 2
+	s.Prefetch([]Pair{
+		{Workload: short, ABI: abi.Hybrid},
+		{Workload: long, ABI: abi.Hybrid},
+		{Workload: short, ABI: abi.Purecap},
+	})
+	if d := s.Run(short, abi.Hybrid); d.Err != nil {
+		t.Fatalf("short workload hit the watchdog: %v", d.Err)
+	}
+	d := s.Run(long, abi.Hybrid)
+	var de *core.DeadlineError
+	if !errors.As(d.Err, &de) {
+		t.Fatalf("want *core.DeadlineError, got %T: %v", d.Err, d.Err)
+	}
+	if de.Budget != 1_000_000 || de.Uops < de.Budget {
+		t.Fatalf("bad deadline record: %+v", de)
+	}
+	if d := s.Run(short, abi.Purecap); d.Err != nil {
+		t.Fatalf("pool did not drain past the deadline: %v", d.Err)
+	}
+}
+
+// TestPanicContainment runs a workload whose body panics with a non-Fault
+// value: the supervisor must convert it into a structured *core.PanicError
+// naming the workload, and later runs in the same session must proceed.
+func TestPanicContainment(t *testing.T) {
+	panicky := &workloads.Workload{
+		Name: "panicky",
+		Run:  func(m *core.Machine, scale int) { panic("boom") },
+	}
+	s := NewSession(1)
+	d := s.Run(panicky, abi.Hybrid)
+	var pe *core.PanicError
+	if !errors.As(d.Err, &pe) {
+		t.Fatalf("want *core.PanicError, got %T: %v", d.Err, d.Err)
+	}
+	if pe.Workload != "panicky" || pe.Value != "boom" {
+		t.Fatalf("panic not attributed: %+v", pe)
+	}
+	if !strings.Contains(d.Err.Error(), "panicky") {
+		t.Fatalf("error text misses workload name: %v", d.Err)
+	}
+	if d := s.Run(mustWorkload(t, "525.x264_r"), abi.Hybrid); d.Err != nil {
+		t.Fatalf("campaign did not continue after the panic: %v", d.Err)
+	}
+}
+
+// TestConcurrentChaos fans a chaotic grid over a multi-worker pool; run
+// under -race it checks that concurrent injected faults, retries and
+// watchdogs share no state across machines.
+func TestConcurrentChaos(t *testing.T) {
+	s := chaosSession(&faultinject.Config{
+		Seed:         13,
+		RatePerMUops: 30,
+		Kinds:        faultinject.AllKinds(),
+	}, 1)
+	s.Jobs = 4
+	s.DeadlineUops = 2_000_000
+	var pairs []Pair
+	for _, name := range []string{"525.x264_r", "531.deepsjeng_r", "sqlite"} {
+		for _, a := range abi.All() {
+			pairs = append(pairs, Pair{Workload: mustWorkload(t, name), ABI: a})
+		}
+	}
+	s.Prefetch(pairs)
+	for _, p := range pairs {
+		d := s.Run(p.Workload, p.ABI)
+		if d.Attempts < 1 {
+			t.Fatalf("%s/%s never ran", p.Workload.Name, p.ABI)
+		}
+	}
+}
+
+// TestResilienceRenderDeterministic renders the resilience experiment twice
+// (on a shrunken grid, to keep the test fast) with one campaign seed and
+// requires byte-identical output.
+func TestResilienceRenderDeterministic(t *testing.T) {
+	oldRates, oldWs := resilienceRates, resilienceWorkloads
+	defer func() { resilienceRates, resilienceWorkloads = oldRates, oldWs }()
+	resilienceRates = []float64{0, 20}
+	resilienceWorkloads = func() []*workloads.Workload {
+		return []*workloads.Workload{
+			mustWorkload(t, "525.x264_r"),
+			mustWorkload(t, "531.deepsjeng_r"),
+		}
+	}
+	render := func() string {
+		s := NewSession(1)
+		s.ChaosSeed = 5
+		s.Jobs = 3
+		out, err := runResilience(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	r1, r2 := render(), render()
+	if r1 != r2 {
+		t.Fatalf("renders diverged:\n--- first ---\n%s\n--- second ---\n%s", r1, r2)
+	}
+	if !strings.Contains(r1, "seed=5") || !strings.Contains(r1, "crash matrix") {
+		t.Fatalf("render missing expected sections:\n%s", r1)
+	}
+}

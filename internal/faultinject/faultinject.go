@@ -1,0 +1,327 @@
+// Package faultinject is a deterministic, seeded capability-fault injector
+// for the simulated Morello platform. It rides the machine's quantum
+// callback (Machine.SetQuantum): every quantum of executed µops it draws
+// from a seeded RNG and, at the configured rate, corrupts architectural
+// state the way CHERI-specific failure modes do in the field — tag clears
+// on heap capabilities, bounds truncation, permission drops, tag-line
+// corruption — or delivers a spurious transient trap.
+//
+// Injections are latent where the hardware's are: a cleared tag faults only
+// when the capability is next dereferenced, a truncated bound only when an
+// access crosses it, so the same corruption that kills a purecap run is
+// silently tolerated under hybrid — exactly the asymmetry behind the
+// paper's Appendix Table 5 "compiled but crashing" benchmarks. Everything
+// is a pure function of the seed, so a fault schedule replays bit-for-bit.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cherisim/internal/cap"
+	"cherisim/internal/core"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Injectable fault kinds.
+const (
+	// KindTagClear clears the validity tag of one live in-memory
+	// capability; the next dereference through it takes a tag fault.
+	KindTagClear Kind = iota
+	// KindLineCorrupt clears every tag in one 64-byte line of a live
+	// allocation (a tag-cache line upset corrupts four granules at once).
+	KindLineCorrupt
+	// KindBoundsTruncate halves the bounds of one live allocation; the
+	// next access beyond the new bound takes a bounds fault.
+	KindBoundsTruncate
+	// KindPermDrop strips the load/store permissions from one live
+	// in-memory capability; the next pointer load through the slot faults.
+	KindPermDrop
+	// KindSpuriousTrap delivers an immediate transient trap that corrupts
+	// no state — the class a supervised campaign retries.
+	KindSpuriousTrap
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"tag-clear", "line-corrupt", "bounds-truncate", "perm-drop", "spurious-trap",
+}
+
+// String returns the kind's flag-style name.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// AllKinds returns every injectable kind.
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKinds resolves a comma-separated kind list ("tag-clear,perm-drop"),
+// accepting "all" for the full set. Unknown names are an error.
+func ParseKinds(s string) ([]Kind, error) {
+	if strings.TrimSpace(s) == "all" {
+		return AllKinds(), nil
+	}
+	var out []Kind
+	seen := map[Kind]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		found := false
+		for i, kn := range kindNames {
+			if name == kn {
+				if !seen[Kind(i)] {
+					seen[Kind(i)] = true
+					out = append(out, Kind(i))
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q (have all, %s)", name, strings.Join(kindNames[:], ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("faultinject: empty fault-kind list")
+	}
+	return out, nil
+}
+
+// ErrSpuriousTrap is the cause carried by injected transient traps.
+var ErrSpuriousTrap = errors.New("faultinject: spurious trap delivered")
+
+// DefaultQuantum is the injection decision granularity in µops.
+const DefaultQuantum = 4096
+
+// Config parameterises an injector.
+type Config struct {
+	// Seed drives every injection decision; equal seeds replay equal
+	// schedules.
+	Seed uint64
+	// RatePerMUops is the expected number of injected events per million
+	// executed µops.
+	RatePerMUops float64
+	// Kinds is the enabled fault-kind set; nil or empty enables all.
+	Kinds []Kind
+	// Quantum is the decision granularity in µops (DefaultQuantum if 0).
+	Quantum uint64
+}
+
+// Event records one performed injection.
+type Event struct {
+	Kind Kind   `json:"kind"`
+	Uop  uint64 `json:"uop"`  // µop position (quantum granularity)
+	Addr uint64 `json:"addr"` // corrupted address (0 for spurious traps)
+}
+
+// Injector injects faults into one machine run. It is not safe for
+// concurrent use; build one per run (they are cheap).
+type Injector struct {
+	cfg    Config
+	kinds  []Kind
+	rng    uint64
+	pDraw  uint64 // per-quantum injection threshold in 2^-64 units
+	uops   uint64
+	events []Event
+}
+
+// New builds an injector for the given configuration.
+func New(cfg Config) *Injector {
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	p := cfg.RatePerMUops * float64(cfg.Quantum) / 1e6
+	var pDraw uint64
+	switch {
+	case p >= 1:
+		pDraw = ^uint64(0)
+	case p > 0:
+		pDraw = uint64(p*float64(1<<63)) << 1
+	}
+	return &Injector{
+		cfg:   cfg,
+		kinds: append([]Kind(nil), kinds...),
+		rng:   splitmix64(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		pDraw: pDraw,
+	}
+}
+
+// RunSeed derives the injector seed for one (campaign seed, workload, ABI,
+// attempt) cell, so every run of a campaign has an independent but fully
+// reproducible fault schedule, and a retry sees a fresh transient schedule
+// instead of deterministically re-tripping on the same trap.
+func RunSeed(campaign uint64, workload, abi string, attempt int) uint64 {
+	// Mix the campaign seed before absorbing any bytes: a bare XOR would
+	// let neighbouring campaigns collide with neighbouring byte values
+	// (1^'b' == 2^'a').
+	h := splitmix64(campaign)
+	for _, s := range []string{workload, "/", abi} {
+		for i := 0; i < len(s); i++ {
+			h = splitmix64(h + uint64(s[i]) + 1)
+		}
+	}
+	return splitmix64(h + uint64(attempt) + 1)
+}
+
+// splitmix64 is the SplitMix64 mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (in *Injector) next() uint64 {
+	in.rng = splitmix64(in.rng)
+	return in.rng
+}
+
+func (in *Injector) intn(n int) int { return int(in.next() % uint64(n)) }
+
+// Quantum returns the decision granularity the injector was built with.
+func (in *Injector) Quantum() uint64 { return in.cfg.Quantum }
+
+// Events returns the injections performed so far, in execution order.
+func (in *Injector) Events() []Event { return in.events }
+
+// Step makes one injection decision; the supervisor calls it from the
+// machine's quantum callback. It may panic with a transient *core.Fault
+// (spurious trap), which Machine.Run converts into the run's error.
+func (in *Injector) Step(m *core.Machine) {
+	in.uops += in.cfg.Quantum
+	if in.pDraw == 0 || in.next() >= in.pDraw {
+		return
+	}
+	kind := in.kinds[in.intn(len(in.kinds))]
+	switch kind {
+	case KindTagClear:
+		if addr, ok := in.clearTags(m, 1); ok {
+			in.record(kind, addr)
+		}
+	case KindLineCorrupt:
+		if addr, ok := in.clearTags(m, 4); ok {
+			in.record(kind, addr)
+		}
+	case KindBoundsTruncate:
+		if r, ok := in.victim(m); ok && r.Size > 16 {
+			if m.Heap.Truncate(r.Base, (r.Size/2)&^15) {
+				m.DropOwnerCache()
+				in.record(kind, r.Base)
+			}
+		}
+	case KindPermDrop:
+		if addr, ok := in.permDrop(m); ok {
+			in.record(kind, addr)
+		}
+	case KindSpuriousTrap:
+		in.record(kind, 0)
+		panic(&core.Fault{
+			Kind:      core.KindSpurious,
+			PC:        m.PC(),
+			Op:        "inject",
+			Cause:     ErrSpuriousTrap,
+			Transient: true,
+		})
+	}
+}
+
+func (in *Injector) record(k Kind, addr uint64) {
+	in.events = append(in.events, Event{Kind: k, Uop: in.uops, Addr: addr})
+}
+
+// victim picks one live heap allocation deterministically.
+func (in *Injector) victim(m *core.Machine) (r struct{ Base, Size uint64 }, ok bool) {
+	n := m.Heap.LiveCount()
+	if n == 0 {
+		return r, false
+	}
+	lr := m.Heap.LiveRange(in.intn(n))
+	return struct{ Base, Size uint64 }{lr.Base, lr.Size}, lr.Size != 0
+}
+
+// probeLimit bounds the granule scan per injection so injection cost stays
+// O(1) even for multi-megabyte victims.
+const probeLimit = 128
+
+// taggedSlot scans the victim allocation from a random granule for a
+// capability-tagged 16-byte slot.
+func (in *Injector) taggedSlot(m *core.Machine) (uint64, bool) {
+	r, ok := in.victim(m)
+	if !ok {
+		return 0, false
+	}
+	granules := int(r.Size / 16)
+	if granules == 0 {
+		return 0, false
+	}
+	start := in.intn(granules)
+	limit := granules
+	if limit > probeLimit {
+		limit = probeLimit
+	}
+	for i := 0; i < limit; i++ {
+		addr := r.Base + uint64((start+i)%granules)*16
+		if m.Mem.TagAt(addr) {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// clearTags clears up to lineGranules consecutive granule tags starting at
+// a tagged slot (1 = single capability, 4 = a whole 64-byte line).
+func (in *Injector) clearTags(m *core.Machine, lineGranules int) (uint64, bool) {
+	addr, ok := in.taggedSlot(m)
+	if !ok {
+		return 0, false
+	}
+	if lineGranules > 1 {
+		addr &^= 63 // whole-line corruption starts at the line boundary
+	}
+	cleared := false
+	for i := 0; i < lineGranules; i++ {
+		if m.Mem.ClearTag(addr + uint64(i)*16) {
+			cleared = true
+		}
+	}
+	return addr, cleared
+}
+
+// permDrop strips the data permissions from a tagged in-memory capability,
+// keeping its tag: the slot still looks valid until dereference authority
+// is demanded.
+func (in *Injector) permDrop(m *core.Machine) (uint64, bool) {
+	addr, ok := in.taggedSlot(m)
+	if !ok {
+		return 0, false
+	}
+	enc, tag, err := m.Mem.ReadCap(addr)
+	if err != nil || !tag {
+		return 0, false
+	}
+	c := cap.Decode(enc, tag).ClearPerms(cap.PermLoad | cap.PermStore)
+	enc2, tag2 := c.Encode()
+	if err := m.Mem.WriteCap(addr, enc2, tag2); err != nil {
+		return 0, false
+	}
+	return addr, true
+}

@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/workloads"
+)
+
+func TestParseKinds(t *testing.T) {
+	all, err := ParseKinds("all")
+	if err != nil || !reflect.DeepEqual(all, AllKinds()) {
+		t.Fatalf(`ParseKinds("all") = %v, %v`, all, err)
+	}
+	got, err := ParseKinds("perm-drop,tag-clear,perm-drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Kind{KindPermDrop, KindTagClear}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedup list = %v, want %v", got, want)
+	}
+	if _, err := ParseKinds("tag-clear,bogus"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ParseKinds(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := ParseKinds(" , "); err == nil {
+		t.Fatal("blank spec accepted")
+	}
+}
+
+func TestRunSeedDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	add := func(label string, s uint64) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %s and %s both hash to %#x", prev, label, s)
+		}
+		seen[s] = label
+	}
+	for _, w := range []string{"a", "b"} {
+		for _, a := range []string{"hybrid", "purecap"} {
+			for attempt := 0; attempt < 3; attempt++ {
+				add(w+"/"+a, RunSeed(1, w, a, attempt))
+			}
+		}
+	}
+	add("campaign2", RunSeed(2, "a", "hybrid", 0))
+}
+
+// hookedRun executes w on a fresh machine with an injector attached,
+// returning the run error and the injection schedule.
+func hookedRun(t *testing.T, cfg Config, a abi.ABI) (error, []Event) {
+	t.Helper()
+	w, err := workloads.ByName("525.x264_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(cfg)
+	_, runErr := workloads.ExecuteHooked(w, core.DefaultConfig(a), 1, func(m *core.Machine) {
+		m.SetQuantum(inj.Quantum(), func() { inj.Step(m) })
+	})
+	return runErr, inj.Events()
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 99, RatePerMUops: 40, Kinds: AllKinds()}
+	err1, ev1 := hookedRun(t, cfg, abi.Purecap)
+	err2, ev2 := hookedRun(t, cfg, abi.Purecap)
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("schedules diverged:\n%v\n%v", ev1, ev2)
+	}
+	if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+		t.Fatalf("outcomes diverged: %v vs %v", err1, err2)
+	}
+	// A different seed must produce a different schedule.
+	cfg.Seed = 100
+	_, ev3 := hookedRun(t, cfg, abi.Purecap)
+	if reflect.DeepEqual(ev1, ev3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestInjectionInducesCapabilityFaults(t *testing.T) {
+	// Saturated draw rate: one injection per quantum. Under purecap the run
+	// must die quickly to an injected fault, and the schedule must record it.
+	cfg := Config{Seed: 3, RatePerMUops: 1000, Kinds: AllKinds()}
+	err, events := hookedRun(t, cfg, abi.Purecap)
+	if err == nil {
+		t.Fatal("saturated injection survived")
+	}
+	var f *core.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *core.Fault, got %T: %v", err, err)
+	}
+	if f.Kind == core.KindUnknown {
+		t.Fatalf("fault not classified: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no injection events recorded")
+	}
+}
+
+func TestSpuriousTrapIsTransient(t *testing.T) {
+	cfg := Config{Seed: 11, RatePerMUops: 1000, Kinds: []Kind{KindSpuriousTrap}}
+	err, events := hookedRun(t, cfg, abi.Hybrid)
+	if err == nil {
+		t.Fatal("saturated spurious traps survived")
+	}
+	if !core.IsTransient(err) {
+		t.Fatalf("spurious trap not transient: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("trap should end the run at its first event, got %d", len(events))
+	}
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	cfg := Config{Seed: 5, RatePerMUops: 0, Kinds: AllKinds()}
+	err, events := hookedRun(t, cfg, abi.Purecap)
+	if err != nil {
+		t.Fatalf("rate-0 run failed: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("rate-0 run injected %d events", len(events))
+	}
+}

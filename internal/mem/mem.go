@@ -190,6 +190,19 @@ func (m *Memory) ReadCap(addr uint64) (cap.Encoded, bool, error) {
 	return e, tag, nil
 }
 
+// ClearTag invalidates the tag of the granule containing addr, leaving the
+// data intact — the effect of a tag-bit upset or tag-cache line corruption
+// (and of the architectural CLRTAG on an in-memory capability). It reports
+// whether a set tag was actually cleared.
+func (m *Memory) ClearTag(addr uint64) bool {
+	p, idx := m.tagIndex(addr&^(cap.TagGranule-1), false)
+	if p == nil || !p.tags[idx] {
+		return false
+	}
+	p.tags[idx] = false
+	return true
+}
+
 // TagAt reports the tag of the granule containing addr.
 func (m *Memory) TagAt(addr uint64) bool {
 	p, idx := m.tagIndex(addr&^(cap.TagGranule-1), false)

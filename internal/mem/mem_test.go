@@ -163,3 +163,35 @@ func TestTrafficCounters(t *testing.T) {
 		t.Errorf("traffic = r%d/w%d, want r40/w100", m.BytesRead, m.BytesWritten)
 	}
 }
+
+func TestClearTag(t *testing.T) {
+	m := New()
+	c := cap.New(0x4000, 64, cap.PermsData)
+	enc, tag := c.Encode()
+	m.WriteCap(0x4000, enc, tag)
+	if !m.TagAt(0x4000) {
+		t.Fatal("tag not set after WriteCap")
+	}
+	// Any address inside the granule clears it.
+	if !m.ClearTag(0x4008) {
+		t.Fatal("ClearTag missed a set tag")
+	}
+	if m.TagAt(0x4000) {
+		t.Fatal("tag survived ClearTag")
+	}
+	// Data must be intact; only validity is gone.
+	enc2, tag2, err := m.ReadCap(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag2 {
+		t.Fatal("ReadCap still tagged")
+	}
+	if enc2 != enc {
+		t.Fatal("ClearTag corrupted data bits")
+	}
+	// Clearing an untagged granule reports false.
+	if m.ClearTag(0x4000) || m.ClearTag(0x9000) {
+		t.Fatal("ClearTag reported success on untagged granule")
+	}
+}

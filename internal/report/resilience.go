@@ -1,0 +1,99 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ResilienceCell is one (rate, workload, ABI) outcome of a fault-injection
+// sweep: how the run ended, how many attempts the supervisor spent on it,
+// and how many faults were injected into the final attempt.
+type ResilienceCell struct {
+	RatePerMUops float64 `json:"rate_per_muops"`
+	Workload     string  `json:"workload"`
+	ABI          string  `json:"abi"`
+	// Status is "ok", "deadline", "panic", or the fault-kind name of the
+	// fatal capability violation ("tag", "bounds", "perm", ...).
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	Injected int    `json:"injected"`
+	// Err is the run's error text, empty for surviving runs.
+	Err string `json:"err,omitempty"`
+}
+
+// ResilienceReport is the machine-readable form of the resilience
+// experiment: the crash matrix extending the paper's Appendix Table 5 from
+// two naturally-crashing benchmarks to a systematic rate sweep.
+type ResilienceReport struct {
+	Tool  string           `json:"tool"`
+	Seed  uint64           `json:"seed"`
+	Kinds []string         `json:"kinds"`
+	Rates []float64        `json:"rates_per_muops"`
+	Cells []ResilienceCell `json:"cells"`
+}
+
+// NewResilienceReport creates an empty report with provenance metadata.
+func NewResilienceReport(seed uint64, kinds []string, rates []float64) *ResilienceReport {
+	return &ResilienceReport{Tool: "cherisim", Seed: seed, Kinds: kinds, Rates: rates}
+}
+
+// Add appends a cell.
+func (r *ResilienceReport) Add(c ResilienceCell) { r.Cells = append(r.Cells, c) }
+
+// Survival returns the fraction of cells at the given rate that survived
+// (status "ok"), and the number of such cells.
+func (r *ResilienceReport) Survival(rate float64) (frac float64, n int) {
+	ok := 0
+	for _, c := range r.Cells {
+		if c.RatePerMUops != rate {
+			continue
+		}
+		n++
+		if c.Status == "ok" {
+			ok++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(ok) / float64(n), n
+}
+
+// WriteJSON streams the report as indented JSON.
+func (r *ResilienceReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadResilienceJSON parses a report written by WriteJSON.
+func ReadResilienceJSON(rd io.Reader) (*ResilienceReport, error) {
+	var r ResilienceReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: decode resilience: %w", err)
+	}
+	return &r, nil
+}
+
+// WriteCSV emits one row per cell.
+func (r *ResilienceReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rate_per_muops", "workload", "abi", "status", "attempts", "injected"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			strconv.FormatFloat(c.RatePerMUops, 'g', -1, 64),
+			c.Workload, c.ABI, c.Status,
+			strconv.Itoa(c.Attempts), strconv.Itoa(c.Injected),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

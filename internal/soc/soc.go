@@ -64,8 +64,18 @@ func Run(specs []CoreSpec) []Result {
 		body := spec.Body
 		go func(i int) {
 			<-st.resume
+			// Containment: Machine.Run already converts panics into
+			// structured errors, but a panic escaping anyway (e.g. from a
+			// misbehaving quantum hook) must still yield the scheduling
+			// token, or the round-robin scheduler deadlocks and one bad
+			// core takes down the whole co-run.
+			defer func() {
+				if r := recover(); r != nil {
+					results[i].Err = &core.PanicError{Value: r, Uops: m.Uops()}
+				}
+				st.yield <- true
+			}()
 			results[i].Err = m.Run(body)
-			st.yield <- true
 		}(i)
 	}
 

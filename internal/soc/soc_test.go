@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"errors"
 	"testing"
 
 	"cherisim/internal/abi"
@@ -122,5 +123,29 @@ func TestCoRunRealWorkloads(t *testing.T) {
 func TestRunWorkloadsValidation(t *testing.T) {
 	if _, err := RunWorkloads(make([]core.Config, 2), make([]func(*core.Machine), 1)); err == nil {
 		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestCoRunPanicContained(t *testing.T) {
+	// One core panics mid-run with a non-Fault value; the round-robin
+	// scheduler must not deadlock, the panic must surface as a structured
+	// error, and the healthy core must finish its work.
+	res := Run([]CoreSpec{
+		{Config: core.DefaultConfig(abi.Hybrid), Body: func(m *core.Machine) {
+			m.Func("bad", 512, 64)
+			m.ALU(100)
+			panic("co-run boom")
+		}},
+		{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)},
+	})
+	var pe *core.PanicError
+	if !errors.As(res[0].Err, &pe) || pe.Value != "co-run boom" {
+		t.Fatalf("core 0: want contained *core.PanicError, got %v", res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Fatalf("healthy core failed: %v", res[1].Err)
+	}
+	if res[1].Machine.C.Get(pmu.INST_RETIRED) == 0 {
+		t.Fatal("healthy core did no work")
 	}
 }

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"errors"
+
 	"cherisim/internal/abi"
 	"cherisim/internal/core"
 )
@@ -15,10 +17,26 @@ func Execute(w *Workload, a abi.ABI, scale int) (*core.Machine, error) {
 // ExecuteConfig is Execute with an explicit machine configuration, used by
 // the ablation experiments (capability-aware predictor, resized caches).
 func ExecuteConfig(w *Workload, cfg core.Config, scale int) (*core.Machine, error) {
+	return ExecuteHooked(w, cfg, scale, nil)
+}
+
+// ExecuteHooked is ExecuteConfig with a setup hook invoked on the fresh
+// machine before the body runs. The supervisor uses it to install quantum
+// callbacks (watchdog deadlines, fault injection) without the workload
+// kernels knowing. A non-Fault panic escaping the body is contained by
+// Machine.Run; the workload name is stamped onto it here.
+func ExecuteHooked(w *Workload, cfg core.Config, scale int, setup func(*core.Machine)) (*core.Machine, error) {
 	if scale < 1 {
 		scale = 1
 	}
 	m := core.NewMachine(cfg)
+	if setup != nil {
+		setup(m)
+	}
 	err := m.Run(func(m *core.Machine) { w.Run(m, scale) })
+	var pe *core.PanicError
+	if errors.As(err, &pe) && pe.Workload == "" {
+		pe.Workload = w.Name
+	}
 	return m, err
 }
