@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,6 +33,7 @@ import (
 	"cherisim/internal/core"
 	"cherisim/internal/experiments"
 	"cherisim/internal/tlb"
+	"cherisim/internal/workloads"
 )
 
 // record is one benchmark's exported measurement.
@@ -42,12 +45,61 @@ type record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// provenance stamps the snapshot with everything needed to reproduce or
+// disqualify it later: the exact tree the numbers came from, the runtime
+// that produced them, and confirmation that the measurement engine ran
+// with telemetry disabled (the zero-overhead configuration the numbers
+// are only valid under).
+type provenance struct {
+	GitCommit    string `json:"git_commit"`
+	GitDirty     bool   `json:"git_dirty"`
+	GoVersion    string `json:"go_version"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	TelemetryOff bool   `json:"telemetry_off"`
+	// TelemetryOffAllocs is the measured allocations per cached session
+	// run with telemetry disabled; TelemetryOff is only stamped true when
+	// this is exactly zero.
+	TelemetryOffAllocs float64 `json:"telemetry_off_allocs_per_run"`
+}
+
 // snapshot is the exported file format.
 type snapshot struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchmarks []record `json:"benchmarks"`
+	Date       string     `json:"date"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Provenance provenance `json:"provenance"`
+	Benchmarks []record   `json:"benchmarks"`
+}
+
+// stampProvenance fills the provenance block. Git metadata degrades to
+// empty fields outside a git checkout rather than failing the export.
+func stampProvenance() provenance {
+	p := provenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitCommit = strings.TrimSpace(string(out))
+	}
+	if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+		p.GitDirty = len(strings.TrimSpace(string(out))) > 0
+	}
+	// Confirm the zero-overhead contract on the exact session
+	// configuration the benchmarks use: a warm singleflight cache with a
+	// nil telemetry hub must serve runs without allocating.
+	w, err := workloads.ByName("525.x264_r")
+	if err != nil {
+		fatal(err)
+	}
+	s := experiments.NewSession(1)
+	s.Run(w, abi.Hybrid)
+	p.TelemetryOffAllocs = testing.AllocsPerRun(200, func() { s.Run(w, abi.Hybrid) })
+	p.TelemetryOff = p.TelemetryOffAllocs == 0
+	return p
 }
 
 func main() {
@@ -60,6 +112,7 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Provenance: stampProvenance(),
 	}
 	if *out == "" {
 		*out = "BENCH_" + snap.Date + ".json"
@@ -187,6 +240,22 @@ func substrate() []bench {
 				if err := h.Free(a); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"SessionTelemetryOff", func(b *testing.B) {
+			// Mirror of experiments.BenchmarkSessionTelemetryOff: the
+			// cached-run hot path the campaign engine hammers, with
+			// the telemetry layer disabled.
+			b.ReportAllocs()
+			w, err := workloads.ByName("525.x264_r")
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := experiments.NewSession(1)
+			s.Run(w, abi.Hybrid)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(w, abi.Hybrid)
 			}
 		}},
 		{"MachineLoadStore", func(b *testing.B) {

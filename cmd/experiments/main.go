@@ -16,23 +16,34 @@
 //	experiments -all -chaos tag-clear,perm-drop -chaos-rate 200
 //	experiments -all -deadline 50000000         # per-run µop watchdog budget
 //
+// Observability turns the measurement lens back on the engine itself:
+//
+//	experiments -all -trace-out trace.json      # Perfetto-loadable timeline
+//	experiments -all -jobs 4 -http :8080        # /metrics /spans /healthz /debug/pprof
+//	experiments -all -log-level info -log-json  # structured slog on stderr
+//
 // The (workload, ABI) measurement grid is prefetched across a worker pool
 // of -jobs simulated machines before rendering; because every run is
 // deterministic and isolated, the rendered output is byte-identical for
 // any -jobs value (including the fully serial -jobs 1). With -chaos off
 // the output is also byte-identical to a chaos-unaware build; the campaign
 // is supervised either way, so a crashing or runaway workload degrades its
-// experiment into the error summary instead of aborting the process.
+// experiment into the error summary instead of aborting the process. The
+// same holds for telemetry: with the flags above unset the engine is
+// unobserved and inert, and enabling them never changes what is measured —
+// spans, metrics and traces ride the supervisor, not the machines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"cherisim/internal/experiments"
 	"cherisim/internal/faultinject"
+	"cherisim/internal/telemetry"
 )
 
 func main() {
@@ -46,8 +57,15 @@ func main() {
 		`inject capability faults into every run: "all" or comma-separated kinds (tag-clear, line-corrupt, bounds-truncate, perm-drop, spurious-trap)`)
 	chaosSeed := flag.Uint64("chaos-seed", 1, "campaign seed for the deterministic fault injector")
 	chaosRate := flag.Float64("chaos-rate", 400, "injected events per million µops when -chaos is set")
-	deadline := flag.Uint64("deadline", 0, "per-run µop watchdog budget (0 = unlimited)")
+	deadline := flag.Int64("deadline", 0, "per-run µop watchdog budget (0 = unlimited)")
 	retries := flag.Int("retries", 2, "bounded retries for transient injected faults")
+	traceOut := flag.String("trace-out", "",
+		"write the campaign timeline as Chrome trace-event JSON (load at ui.perfetto.dev)")
+	httpAddr := flag.String("http", "",
+		"serve ops endpoints (/metrics, /spans, /healthz, /debug/pprof) on this address during the campaign")
+	logLevel := flag.String("log-level", "",
+		"emit structured logs on stderr at this level (debug, info, warn, error; empty = silent)")
+	logJSON := flag.Bool("log-json", false, "structured logs as JSON lines instead of text")
 	flag.Parse()
 
 	cfg, err := sessionConfig(*jobs, *chaos, *chaosRate, *chaosSeed, *deadline, *retries)
@@ -55,10 +73,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
+	hub, ops, err := setupTelemetry(*traceOut, *httpAddr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if ops != nil {
+		fmt.Fprintf(os.Stderr, "experiments: ops endpoints at http://%s (/metrics /spans /healthz /debug/pprof)\n", ops.Addr)
+	}
 
 	newSession := func() *experiments.Session {
 		s := experiments.NewSession(*scale)
 		cfg.apply(s)
+		s.Telemetry = hub
 		return s
 	}
 
@@ -81,6 +108,7 @@ func main() {
 			s.Prefetch(e.Pairs())
 		}
 		out, err := e.Run(s)
+		teardownTelemetry(s, hub, ops, *traceOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -88,18 +116,83 @@ func main() {
 	case *all:
 		// Degraded-mode campaign: render every experiment that succeeds,
 		// summarise the rest, and reflect failures in the exit code.
-		failed := experiments.RenderAll(newSession(), os.Stdout)
-		if len(failed) > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed:\n", len(failed), len(experiments.All()))
-			for _, f := range failed {
-				fmt.Fprintf(os.Stderr, "  %-20s %v\n", f.ID, f.Err)
-			}
-			os.Exit(1)
+		s := newSession()
+		code := runCampaign(s, os.Stdout, os.Stderr)
+		teardownTelemetry(s, hub, ops, *traceOut)
+		if code != 0 {
+			os.Exit(code)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runCampaign renders every experiment against s in degraded mode, writes
+// the failure summary to stderr, and returns the process exit code: each
+// failed experiment appears in the summary exactly once.
+func runCampaign(s *experiments.Session, stdout, stderr io.Writer) int {
+	failed := experiments.RenderAll(s, stdout)
+	if len(failed) == 0 {
+		return 0
+	}
+	fmt.Fprintf(stderr, "experiments: %d of %d experiments failed:\n", len(failed), len(experiments.All()))
+	for _, f := range failed {
+		fmt.Fprintf(stderr, "  %-20s %v\n", f.ID, f.Err)
+	}
+	return 1
+}
+
+// setupTelemetry builds the hub implied by the observability flags: nil
+// (fully inert engine) when none is set, otherwise a hub with the
+// requested logger and, for -http, a live ops server.
+func setupTelemetry(traceOut, httpAddr, logLevel string, logJSON bool) (*telemetry.Hub, *telemetry.OpsServer, error) {
+	if traceOut == "" && httpAddr == "" && logLevel == "" {
+		return nil, nil, nil
+	}
+	hub := telemetry.New()
+	log, err := telemetry.NewLogger(os.Stderr, logLevel, logJSON)
+	if err != nil {
+		return nil, nil, err
+	}
+	hub.Log = log
+	var ops *telemetry.OpsServer
+	if httpAddr != "" {
+		if ops, err = telemetry.StartOps(httpAddr, hub); err != nil {
+			return nil, nil, err
+		}
+	}
+	return hub, ops, nil
+}
+
+// teardownTelemetry flushes the campaign's telemetry: ends the campaign
+// span, writes the -trace-out file, and stops the ops server.
+func teardownTelemetry(s *experiments.Session, hub *telemetry.Hub, ops *telemetry.OpsServer, traceOut string) {
+	if s != nil {
+		s.FinishTelemetry()
+	}
+	if hub != nil && traceOut != "" {
+		if err := writeTraceFile(traceOut, hub); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: wrote trace to %s (%d spans; load at ui.perfetto.dev)\n",
+				traceOut, hub.Spans.Total())
+		}
+	}
+	ops.Close()
+}
+
+// writeTraceFile exports the hub's spans as Chrome trace-event JSON.
+func writeTraceFile(path string, hub *telemetry.Hub) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteTrace(f, hub.Spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // sessionCfg is the validated supervisor configuration applied to every
@@ -112,19 +205,26 @@ type sessionCfg struct {
 	retries  int
 }
 
-// sessionConfig validates the CLI inputs: negative -jobs, unknown -chaos
-// fault kinds, negative rates/retries are rejected before any work runs.
-func sessionConfig(jobs int, chaos string, rate float64, seed uint64, deadline uint64, retries int) (*sessionCfg, error) {
+// sessionConfig validates the CLI inputs: negative -jobs, -chaos-rate,
+// -deadline or -retries and unknown -chaos fault kinds are rejected with a
+// clear error before any work runs.
+func sessionConfig(jobs int, chaos string, rate float64, seed uint64, deadline int64, retries int) (*sessionCfg, error) {
 	if jobs < 0 {
 		return nil, fmt.Errorf("-jobs must be >= 0, got %d", jobs)
 	}
 	if retries < 0 {
 		return nil, fmt.Errorf("-retries must be >= 0, got %d", retries)
 	}
-	cfg := &sessionCfg{jobs: jobs, seed: seed, deadline: deadline, retries: retries}
+	if deadline < 0 {
+		return nil, fmt.Errorf("-deadline must be >= 0, got %d", deadline)
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("-chaos-rate must be >= 0, got %g", rate)
+	}
+	cfg := &sessionCfg{jobs: jobs, seed: seed, deadline: uint64(deadline), retries: retries}
 	if chaos != "" {
-		if rate <= 0 {
-			return nil, fmt.Errorf("-chaos-rate must be > 0, got %g", rate)
+		if rate == 0 {
+			return nil, fmt.Errorf("-chaos-rate must be > 0 when -chaos is set, got %g", rate)
 		}
 		kinds, err := faultinject.ParseKinds(chaos)
 		if err != nil {

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cherisim/internal/experiments"
+)
+
+// TestSessionConfigValidation pins the flag-validation contract: negative
+// -jobs, -retries, -deadline and -chaos-rate, a zero rate with chaos
+// enabled, and unknown fault kinds are all rejected with a descriptive
+// error, while legal configurations build the expected session settings.
+func TestSessionConfigValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		jobs     int
+		chaos    string
+		rate     float64
+		deadline int64
+		retries  int
+		wantErr  string
+	}{
+		{name: "negative jobs", jobs: -1, rate: 400, retries: 2, wantErr: "-jobs"},
+		{name: "negative retries", rate: 400, retries: -3, wantErr: "-retries"},
+		{name: "negative deadline", rate: 400, deadline: -1, retries: 2, wantErr: "-deadline"},
+		{name: "negative rate", rate: -0.5, retries: 2, wantErr: "-chaos-rate"},
+		{name: "negative rate without chaos", chaos: "", rate: -400, retries: 2, wantErr: "-chaos-rate"},
+		{name: "zero rate with chaos", chaos: "all", rate: 0, retries: 2, wantErr: "-chaos-rate"},
+		{name: "unknown kind", chaos: "tag-clear,bogus", rate: 400, retries: 2, wantErr: "bogus"},
+		{name: "defaults", jobs: 4, rate: 400, retries: 2},
+		{name: "zero rate chaos off", rate: 0, retries: 2},
+		{name: "chaos all", chaos: "all", rate: 200, deadline: 1 << 20, retries: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := sessionConfig(tc.jobs, tc.chaos, tc.rate, 1, tc.deadline, tc.retries)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("sessionConfig accepted %+v", tc)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not name %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid config rejected: %v", err)
+			}
+			if cfg.jobs != tc.jobs || cfg.retries != tc.retries || cfg.deadline != uint64(tc.deadline) {
+				t.Fatalf("config %+v does not reflect inputs", cfg)
+			}
+			if (tc.chaos != "") != (cfg.chaos != nil) {
+				t.Fatalf("chaos config presence mismatch for %q", tc.chaos)
+			}
+		})
+	}
+}
+
+// TestRunCampaignDegradedMode drives the full campaign with a 1-µop
+// watchdog budget so every measured run deadline-aborts: the exit code
+// must be non-zero, the stderr summary must list every failed experiment
+// exactly once with a matching header count, and the experiments that
+// render without session measurements must still reach stdout.
+func TestRunCampaignDegradedMode(t *testing.T) {
+	s := experiments.NewSession(1)
+	s.Jobs = 2
+	s.DeadlineUops = 1 // every quantum check trips the watchdog immediately
+
+	var stdout, stderr bytes.Buffer
+	if code := runCampaign(s, &stdout, &stderr); code == 0 {
+		t.Fatal("campaign with a 1-µop deadline reported success")
+	}
+
+	valid := map[string]bool{}
+	for _, e := range experiments.All() {
+		valid[e.ID] = true
+	}
+
+	sc := bufio.NewScanner(&stderr)
+	if !sc.Scan() {
+		t.Fatal("empty stderr summary")
+	}
+	var n, total int
+	if _, err := fmt.Sscanf(sc.Text(), "experiments: %d of %d experiments failed:", &n, &total); err != nil {
+		t.Fatalf("malformed summary header %q: %v", sc.Text(), err)
+	}
+	if n == 0 || total != len(experiments.All()) {
+		t.Fatalf("summary header %q: want >0 failures of %d", sc.Text(), len(experiments.All()))
+	}
+	seen := map[string]bool{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			t.Fatalf("malformed summary line %q", sc.Text())
+		}
+		id := fields[0]
+		if !valid[id] {
+			t.Fatalf("summary names unknown experiment %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("experiment %q listed more than once", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("header says %d failures, summary lists %d", n, len(seen))
+	}
+
+	rendered := renderedHeaders(stdout.String())
+	if rendered != total-n {
+		t.Fatalf("%d experiments rendered, want %d (total %d - failed %d)",
+			rendered, total-n, total, n)
+	}
+	for id := range seen {
+		if strings.Contains(stdout.String(), "== "+id+":") {
+			t.Fatalf("failed experiment %q also rendered to stdout", id)
+		}
+	}
+}
+
+// TestRunCampaignSuccessExitCode is the inverse guard: an unconstrained
+// campaign renders everything, writes nothing to stderr, and returns 0.
+func TestRunCampaignSuccessExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign render in -short mode")
+	}
+	s := experiments.NewSession(1)
+	var stdout, stderr bytes.Buffer
+	if code := runCampaign(s, &stdout, &stderr); code != 0 {
+		t.Fatalf("healthy campaign exited %d; stderr:\n%s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("healthy campaign wrote to stderr:\n%s", stderr.String())
+	}
+	if got := renderedHeaders(stdout.String()); got != len(experiments.All()) {
+		t.Fatalf("%d experiments rendered, want %d", got, len(experiments.All()))
+	}
+}
+
+// renderedHeaders counts the "== id: title (section) ==" banner lines
+// RenderAll emits, one per successfully rendered experiment.
+func renderedHeaders(out string) int {
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "== ") && strings.HasSuffix(line, " ==") {
+			n++
+		}
+	}
+	return n
+}

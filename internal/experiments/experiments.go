@@ -62,9 +62,12 @@ type RenderError struct {
 // injected-away measurement cannot abort the rest of the campaign.
 func RenderAll(s *Session, out io.Writer) []RenderError {
 	s.Prefetch(UnionPairs(All()))
+	obs := s.campaignObserver()
 	var failed []RenderError
 	for _, e := range All() {
+		sp := obs.experimentSpan(e)
 		txt, err := e.Run(s)
+		obs.experimentEnd(sp, e, err)
 		if err != nil {
 			failed = append(failed, RenderError{ID: e.ID, Err: err})
 			continue

@@ -55,7 +55,7 @@ func runExtMulticore(s *Session) (string, error) {
 					Body:   func(m *core.Machine) { w.Run(m, s.Scale) },
 				}
 			}
-			res := soc.Run(specs)
+			res := soc.RunObserved(specs, s.Telemetry)
 			var worst float64
 			var llc float64
 			for i, r := range res {

@@ -8,6 +8,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"cherisim/internal/abi"
 	"cherisim/internal/alloc"
@@ -15,6 +16,7 @@ import (
 	"cherisim/internal/faultinject"
 	"cherisim/internal/metrics"
 	"cherisim/internal/pmu"
+	"cherisim/internal/telemetry"
 	"cherisim/internal/topdown"
 	"cherisim/internal/workloads"
 )
@@ -30,6 +32,9 @@ type RunData struct {
 	// more when transient injected faults were retried. Counters and
 	// Injected describe the final attempt.
 	Attempts int
+	// Uops is the number of classified µops the final attempt executed
+	// (covers the prefix up to the fault for failed runs).
+	Uops uint64
 	// Injected lists the fault injections performed during the final
 	// attempt (nil when the session runs without chaos).
 	Injected []faultinject.Event
@@ -47,6 +52,14 @@ type Pair struct {
 type inflight struct {
 	done chan struct{}
 	data *RunData
+}
+
+// runKey identifies one (workload, ABI) singleflight cell. A composite
+// struct key instead of a concatenated string keeps the cached-run hot
+// path allocation-free (the guard BenchmarkSessionTelemetryOff pins this).
+type runKey struct {
+	workload string
+	abi      abi.ABI
 }
 
 // Session caches workload runs so experiments that share measurements
@@ -87,9 +100,19 @@ type Session struct {
 	// violations, deadlines and panics are never retried.
 	Retries int
 
+	// Telemetry, when non-nil, receives spans, metrics and logs for every
+	// supervised run: a campaign-root span with per-worker run/attempt
+	// spans under it, injected faults as instant events, and the engine's
+	// counter/gauge/histogram set (see internal/telemetry). Nil (the
+	// default) keeps the engine inert: the hot path costs one pointer test,
+	// allocates nothing, and rendered output is byte-identical. Set it
+	// before the first Run/Prefetch call.
+	Telemetry *telemetry.Hub
+
 	mu     sync.Mutex
-	flight map[string]*inflight
-	sem    chan struct{}
+	flight map[runKey]*inflight
+	sem    chan int // worker-ID pool: receiving acquires a slot + identity
+	obs    *runObserver
 }
 
 // NewSession creates a measurement session at the given workload scale.
@@ -97,44 +120,100 @@ func NewSession(scale int) *Session {
 	if scale < 1 {
 		scale = 1
 	}
-	return &Session{Scale: scale, flight: make(map[string]*inflight)}
+	return &Session{Scale: scale, flight: make(map[runKey]*inflight)}
 }
 
-// pool returns the worker-pool semaphore, building it on first use.
-// Callers must hold s.mu.
-func (s *Session) pool() chan struct{} {
+// pool returns the worker-pool semaphore, building it on first use. The
+// channel is pre-filled with worker IDs, so acquiring a slot also names
+// the worker — the identity telemetry renders as one trace track per
+// worker. Callers must hold s.mu.
+func (s *Session) pool() chan int {
 	if s.sem == nil {
 		n := s.Jobs
 		if g := runtime.GOMAXPROCS(0); n <= 0 || n > g {
 			n = g
 		}
-		s.sem = make(chan struct{}, n)
+		s.sem = make(chan int, n)
+		for i := 0; i < n; i++ {
+			s.sem <- i
+		}
+		if obs := s.observer(); obs != nil {
+			obs.poolWorkers.Set(int64(n))
+		}
 	}
 	return s.sem
+}
+
+// observer returns the session's telemetry observer, building it on first
+// use; nil when telemetry is disabled. Callers must hold s.mu.
+func (s *Session) observer() *runObserver {
+	if s.obs == nil && s.Telemetry.Enabled() {
+		s.obs = newRunObserver(s.Telemetry)
+	}
+	return s.obs
+}
+
+// campaignObserver exposes the session's observer to campaign-level
+// instrumentation (RenderAll's experiment spans); nil when telemetry is
+// off.
+func (s *Session) campaignObserver() *runObserver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observer()
+}
+
+// shareTelemetryWith attaches s to parent's telemetry: same hub and same
+// observer, so the runs of a derived sub-session (the resilience sweep's
+// per-rate sessions) nest under the parent's campaign-root span and feed
+// one shared metric set instead of opening a second dangling root.
+func (s *Session) shareTelemetryWith(parent *Session) {
+	s.Telemetry = parent.Telemetry
+	s.obs = parent.campaignObserver()
+}
+
+// FinishTelemetry ends the session's campaign-root span so every span is
+// published to the collector before a trace export. Idempotent; a no-op
+// without telemetry.
+func (s *Session) FinishTelemetry() {
+	s.mu.Lock()
+	obs := s.obs
+	s.mu.Unlock()
+	obs.finish()
 }
 
 // Run returns the (cached) outcome of executing workload w under ABI a.
 // Concurrent calls for the same pair share one execution; calls for
 // different pairs proceed in parallel up to the worker-pool bound.
 func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
-	key := w.Name + "/" + a.String()
+	key := runKey{workload: w.Name, abi: a}
 	s.mu.Lock()
 	if s.flight == nil {
-		s.flight = make(map[string]*inflight)
+		s.flight = make(map[runKey]*inflight)
 	}
 	if c, ok := s.flight[key]; ok {
+		obs := s.obs
 		s.mu.Unlock()
+		obs.sfHit()
 		<-c.done
 		return c.data
 	}
 	c := &inflight{done: make(chan struct{})}
 	s.flight[key] = c
 	sem := s.pool()
+	obs := s.obs // built by pool() when telemetry is on
 	s.mu.Unlock()
 
-	sem <- struct{}{} // acquire a worker-pool slot
-	c.data = s.execute(w, a)
-	<-sem
+	worker := <-sem // acquire a worker-pool slot (and its identity)
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
+	span := obs.runStart(w, a, s.Scale, worker)
+	c.data = s.execute(w, a, obs, span)
+	if obs != nil {
+		obs.runEnd(span, c.data, time.Since(t0))
+	}
+	sem <- worker
 	close(c.done)
 	return c.data
 }
@@ -142,21 +221,25 @@ func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 // execute performs one supervised workload run: up to 1+Retries attempts
 // on fresh machines, retrying only transient injected faults. The retry
 // schedule is deterministic — attempt k of a pair always replays the same
-// fault schedule, independent of pool scheduling.
-func (s *Session) execute(w *workloads.Workload, a abi.ABI) *RunData {
+// fault schedule, independent of pool scheduling (and of whether telemetry
+// observes it).
+func (s *Session) execute(w *workloads.Workload, a abi.ABI, obs *runObserver, run *telemetry.Span) *RunData {
 	for attempt := 0; ; attempt++ {
-		d := s.executeOnce(w, a, attempt)
+		att := obs.attemptStart(run, attempt)
+		d := s.executeOnce(w, a, attempt, obs, att)
 		d.Attempts = attempt + 1
 		if d.Err == nil || attempt >= s.Retries || !core.IsTransient(d.Err) {
+			obs.attemptEnd(att, d, false)
 			return d
 		}
+		obs.attemptEnd(att, d, true)
 	}
 }
 
 // executeOnce performs one uncached workload run on a fresh machine,
 // installing the watchdog/injector quantum hook when the session is
 // configured for supervision.
-func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int) *RunData {
+func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs *runObserver, att *telemetry.Span) *RunData {
 	cfg := core.DefaultConfig(a)
 	if s.Configure != nil {
 		s.Configure(&cfg)
@@ -167,6 +250,7 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int) *Ru
 		if s.Chaos != nil {
 			c := *s.Chaos
 			c.Seed = faultinject.RunSeed(c.Seed, w.Name, a.String(), attempt)
+			c.Observe = obs.injectObserver(att, c.Seed)
 			inj = faultinject.New(c)
 		}
 		deadline := s.DeadlineUops
@@ -197,6 +281,7 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int) *Ru
 		d.Metrics = metrics.Compute(&m.C)
 		d.Topdown = topdown.Analyze(&m.C)
 		d.Heap = m.Heap.Stats()
+		d.Uops = m.Uops()
 	}
 	return d
 }

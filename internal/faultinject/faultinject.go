@@ -120,6 +120,12 @@ type Config struct {
 	Kinds []Kind
 	// Quantum is the decision granularity in µops (DefaultQuantum if 0).
 	Quantum uint64
+	// Observe, when non-nil, is invoked synchronously for every performed
+	// injection, from the machine's quantum callback. It must not block or
+	// touch the machine; the telemetry layer uses it to emit instant events
+	// and per-kind counters. Observation never affects the injection
+	// schedule — a run with an observer replays bit-for-bit without one.
+	Observe func(Event)
 }
 
 // Event records one performed injection.
@@ -245,7 +251,11 @@ func (in *Injector) Step(m *core.Machine) {
 }
 
 func (in *Injector) record(k Kind, addr uint64) {
-	in.events = append(in.events, Event{Kind: k, Uop: in.uops, Addr: addr})
+	ev := Event{Kind: k, Uop: in.uops, Addr: addr}
+	in.events = append(in.events, ev)
+	if in.cfg.Observe != nil {
+		in.cfg.Observe(ev)
+	}
 }
 
 // victim picks one live heap allocation deterministically.

@@ -11,6 +11,7 @@ import (
 
 	"cherisim/internal/cache"
 	"cherisim/internal/core"
+	"cherisim/internal/telemetry"
 )
 
 // CoreSpec describes one core's configuration and workload body.
@@ -36,11 +37,33 @@ const QuantumUops = 8192
 // core 1, and so on; finished cores drop out. Only one core executes at
 // any instant, so the shared cache needs no locking and results are
 // bit-reproducible.
-func Run(specs []CoreSpec) []Result {
+func Run(specs []CoreSpec) []Result { return RunObserved(specs, nil) }
+
+// RunObserved is Run with telemetry: the co-run becomes a "corun" span
+// with one child span per core on its own trace track, scheduling quanta
+// feed the soc_quanta_scheduled counter, and per-core outcomes are stamped
+// as span attributes. A nil hub is exactly Run — observation rides the
+// scheduler loop, never the cores, so results are unchanged either way.
+func RunObserved(specs []CoreSpec, hub *telemetry.Hub) []Result {
 	n := len(specs)
 	results := make([]Result, n)
 	if n == 0 {
 		return results
+	}
+
+	var reg *telemetry.Registry
+	var col *telemetry.Collector
+	if hub.Enabled() {
+		reg, col = hub.Metrics, hub.Spans
+	}
+	corun := hub.Start("corun")
+	corun.Attr("cores", n)
+	quanta := reg.Counter("soc_quanta_scheduled")
+	reg.Counter("soc_coruns").Inc()
+	coreSpans := make([]*telemetry.Span, n)
+	for i := 0; i < n; i++ {
+		coreSpans[i] = corun.Child(fmt.Sprintf("core-%d", i)).
+			SetTrack(col.Track(fmt.Sprintf("soc-core-%d", i)))
 	}
 
 	sharedLLC := cache.New(specs[0].Config.LLC)
@@ -79,7 +102,9 @@ func Run(specs []CoreSpec) []Result {
 		}(i)
 	}
 
-	// Deterministic round robin until every core finishes.
+	// Deterministic round robin until every core finishes. The scheduler
+	// goroutine owns every span: core spans end at the yield that retires
+	// the core, so their intervals cover exactly the core's scheduled life.
 	alive := make([]bool, n)
 	remaining := n
 	for i := range alive {
@@ -91,12 +116,21 @@ func Run(specs []CoreSpec) []Result {
 				continue
 			}
 			states[i].resume <- struct{}{}
+			quanta.Inc()
 			if done := <-states[i].yield; done {
 				alive[i] = false
 				remaining--
+				if sp := coreSpans[i]; sp != nil {
+					sp.Attr("uops", results[i].Machine.Uops())
+					if results[i].Err != nil {
+						sp.Attr("err", results[i].Err.Error())
+					}
+					sp.End()
+				}
 			}
 		}
 	}
+	corun.End()
 	return results
 }
 

@@ -1,0 +1,66 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/telemetry"
+)
+
+// TestCoRunTelemetrySpans asserts an observed co-run records the corun
+// span with one child span per core on its own track, counts scheduling
+// quanta, and — the determinism contract — produces bit-identical machine
+// counters to an unobserved co-run.
+func TestCoRunTelemetrySpans(t *testing.T) {
+	specs := func() []CoreSpec {
+		return []CoreSpec{
+			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)},
+			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)},
+		}
+	}
+	plain := Run(specs())
+
+	hub := telemetry.New()
+	observed := RunObserved(specs(), hub)
+	for i := range plain {
+		if plain[i].Machine.C != observed[i].Machine.C {
+			t.Fatalf("core %d counters diverged under observation", i)
+		}
+	}
+
+	spans := hub.Spans.Snapshot()
+	tracks := hub.Spans.TrackNames()
+	var corunID uint64
+	cores := 0
+	for _, sp := range spans {
+		if sp.Name == "corun" {
+			corunID = sp.ID
+		}
+	}
+	if corunID == 0 {
+		t.Fatal("corun span missing")
+	}
+	for _, sp := range spans {
+		if !strings.HasPrefix(sp.Name, "core-") {
+			continue
+		}
+		cores++
+		if sp.Parent != corunID {
+			t.Fatalf("%s parented to %d, want corun %d", sp.Name, sp.Parent, corunID)
+		}
+		if !strings.HasPrefix(tracks[sp.Track], "soc-core-") {
+			t.Fatalf("%s on track %q, want a soc core track", sp.Name, tracks[sp.Track])
+		}
+	}
+	if cores != 2 {
+		t.Fatalf("%d core spans, want 2", cores)
+	}
+	if hub.Metrics.Counter("soc_coruns").Value() != 1 {
+		t.Fatal("soc_coruns not counted")
+	}
+	if hub.Metrics.Counter("soc_quanta_scheduled").Value() < 2 {
+		t.Fatal("scheduling quanta not counted")
+	}
+}

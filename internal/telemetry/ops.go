@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsHandler builds the ops endpoint mux for a hub:
+//
+//	/metrics       deterministic text snapshot of the metrics registry
+//	/spans         recent finished spans as JSON (newest last)
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The handler reads live campaign state, so it is safe to scrape while the
+// worker pool is executing.
+func OpsHandler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h != nil {
+			h.Metrics.WriteText(w)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var spans []SpanRecord
+		if h != nil {
+			spans = h.Spans.Snapshot()
+		}
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(spans)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops endpoint.
+type OpsServer struct {
+	Addr string // the bound address (resolves ":0" to the real port)
+	srv  *http.Server
+	done chan struct{}
+}
+
+// StartOps binds addr and serves the hub's ops endpoints in the
+// background. The caller owns shutdown via Close.
+func StartOps(addr string, h *Hub) (*OpsServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpsServer{
+		Addr: l.Addr().String(),
+		srv:  &http.Server{Handler: OpsHandler(h), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(o.done)
+		o.srv.Serve(l)
+	}()
+	return o, nil
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (o *OpsServer) Close() error {
+	if o == nil {
+		return nil
+	}
+	err := o.srv.Close()
+	<-o.done
+	return err
+}

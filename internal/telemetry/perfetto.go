@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event JSON format (the "JSON trace" Perfetto and
+// chrome://tracing load): an object with a traceEvents array of phase-coded
+// events. The exporter renders the collector's spans as complete ("X")
+// events — one Perfetto thread (tid) per collector track, so the worker
+// pool becomes one swim-lane per worker with campaign/experiment spans on
+// their own lane — and span instants (injected faults) as thread-scoped
+// instant ("i") events. Metadata ("M") events name the process and tracks.
+
+// TraceEvent is one trace-event entry.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"` // µs since trace start
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace is the exported file shape.
+type Trace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tracePid is the single synthetic process every track lives under.
+const tracePid = 1
+
+// BuildTrace assembles the trace-event representation of the collector's
+// retained spans. Events are ordered by timestamp (metadata first), which
+// both viewers accept and tests can rely on.
+func BuildTrace(c *Collector) Trace {
+	tr := Trace{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	if c == nil {
+		return tr
+	}
+	tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+		Name: "process_name", Phase: "M", Pid: tracePid,
+		Args: map[string]any{"name": "cherisim campaign"},
+	})
+	for id, name := range c.TrackNames() {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: "thread_name", Phase: "M", Pid: tracePid, Tid: id,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	var events []TraceEvent
+	for _, rec := range c.Snapshot() {
+		args := map[string]any{"span_id": rec.ID}
+		if rec.Parent != 0 {
+			args["parent_id"] = rec.Parent
+		}
+		for _, a := range rec.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := rec.DurUs
+		events = append(events, TraceEvent{
+			Name: rec.Name, Phase: "X", Ts: rec.StartUs, Dur: &dur,
+			Pid: tracePid, Tid: rec.Track, Args: args,
+		})
+		for _, in := range rec.Instants {
+			iargs := map[string]any{"span_id": rec.ID}
+			for _, a := range in.Attrs {
+				iargs[a.Key] = a.Value
+			}
+			events = append(events, TraceEvent{
+				Name: in.Name, Phase: "i", Ts: in.AtUs,
+				Pid: tracePid, Tid: rec.Track, Scope: "t", Args: iargs,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	tr.TraceEvents = append(tr.TraceEvents, events...)
+	return tr
+}
+
+// WriteTrace writes the collector's spans as Chrome trace-event JSON,
+// loadable at ui.perfetto.dev or chrome://tracing.
+func WriteTrace(w io.Writer, c *Collector) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(BuildTrace(c)); err != nil {
+		return fmt.Errorf("telemetry: trace export: %w", err)
+	}
+	return nil
+}

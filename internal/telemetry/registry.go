@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe collection of named counters, gauges and
+// histograms. Handles are get-or-create and stable, so hot paths resolve
+// them once and then touch only atomics. A nil *Registry hands out nil
+// handles, on which every operation is an allocation-free no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (strictly increasing; a final +Inf bucket is implicit) on
+// first use. Later calls ignore bounds and return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (nil-safe).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one (nil-safe).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer metric (pool occupancy, live spans).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v (nil-safe).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (nil-safe); use negative deltas to release.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets with an exact running
+// sum, lock-free on the observe path.
+type Histogram struct {
+	bounds []float64      // upper bounds, strictly increasing
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = ExpBuckets(1, 2, 14)
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start, each factor× the previous — the shape wall-clock and µop-count
+// distributions need.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample (nil-safe).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// atomicFloat is a CAS-loop float64 accumulator.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below the upper bound and above the previous bound (+Inf for the
+// overflow bucket, rendered as "+Inf").
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// Point is one metric in a snapshot.
+type Point struct {
+	Kind    string   `json:"kind"` // "counter" | "gauge" | "histogram"
+	Name    string   `json:"name"`
+	Value   int64    `json:"value,omitempty"`   // counter/gauge
+	Count   int64    `json:"count,omitempty"`   // histogram
+	Sum     float64  `json:"sum,omitempty"`     // histogram
+	Buckets []Bucket `json:"buckets,omitempty"` // histogram
+}
+
+// Snapshot returns every metric, ordered by kind (counter, gauge,
+// histogram) then name — a deterministic ordering, so two snapshots of the
+// same state render byte-identically.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Point, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, name := range sortedKeys(r.counters) {
+		out = append(out, Point{Kind: "counter", Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		out = append(out, Point{Kind: "gauge", Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		p := Point{Kind: "histogram", Name: name, Count: h.count.Load(), Sum: h.sum.load()}
+		for i, b := range h.bounds {
+			p.Buckets = append(p.Buckets, Bucket{UpperBound: b, Count: h.counts[i].Load()})
+		}
+		p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)].Load()})
+		out = append(out, p)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot in the registry's line-oriented text
+// format, one metric per line, stable-ordered:
+//
+//	counter runs_started 42
+//	gauge pool_occupancy 3
+//	histogram run_wall_ms count 12 sum 345.25 1:0 2:4 ... +Inf:1
+//
+// Floats use strconv 'g' with full precision so ParseText round-trips
+// exactly.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, p := range r.Snapshot() {
+		var err error
+		switch p.Kind {
+		case "histogram":
+			var b strings.Builder
+			fmt.Fprintf(&b, "histogram %s count %d sum %s", p.Name, p.Count, formatFloat(p.Sum))
+			for _, bk := range p.Buckets {
+				fmt.Fprintf(&b, " %s:%d", formatBound(bk.UpperBound), bk.Count)
+			}
+			_, err = fmt.Fprintln(w, b.String())
+		default:
+			_, err = fmt.Fprintf(w, "%s %s %d\n", p.Kind, p.Name, p.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+// ParseText parses WriteText output back into snapshot points, so a
+// scraped /metrics body round-trips into comparable values.
+func ParseText(r io.Reader) ([]Point, error) {
+	var out []Point
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "counter", "gauge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("telemetry: malformed %s line %q", fields[0], line)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: bad value in %q: %w", line, err)
+			}
+			out = append(out, Point{Kind: fields[0], Name: fields[1], Value: v})
+		case "histogram":
+			if len(fields) < 6 || fields[2] != "count" || fields[4] != "sum" {
+				return nil, fmt.Errorf("telemetry: malformed histogram line %q", line)
+			}
+			p := Point{Kind: "histogram", Name: fields[1]}
+			var err error
+			if p.Count, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("telemetry: bad count in %q: %w", line, err)
+			}
+			if p.Sum, err = strconv.ParseFloat(fields[5], 64); err != nil {
+				return nil, fmt.Errorf("telemetry: bad sum in %q: %w", line, err)
+			}
+			for _, f := range fields[6:] {
+				bound, count, ok := strings.Cut(f, ":")
+				if !ok {
+					return nil, fmt.Errorf("telemetry: bad bucket %q in %q", f, line)
+				}
+				var bk Bucket
+				if bound == "+Inf" {
+					bk.UpperBound = math.Inf(1)
+				} else if bk.UpperBound, err = strconv.ParseFloat(bound, 64); err != nil {
+					return nil, fmt.Errorf("telemetry: bad bucket bound %q: %w", bound, err)
+				}
+				if bk.Count, err = strconv.ParseInt(count, 10, 64); err != nil {
+					return nil, fmt.Errorf("telemetry: bad bucket count %q: %w", count, err)
+				}
+				p.Buckets = append(p.Buckets, bk)
+			}
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("telemetry: unknown metric kind in %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

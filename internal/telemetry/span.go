@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one structured span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// A returns an attribute (shorthand for literals at instrumentation sites).
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Instant is a point event recorded inside a span — e.g. one injected
+// fault — placed on the span's track at its wall-clock offset.
+type Instant struct {
+	Name  string  `json:"name"`
+	AtUs  float64 `json:"at_us"` // offset from the collector epoch, µs
+	Attrs []Attr  `json:"attrs,omitempty"`
+}
+
+// SpanRecord is one finished span as retained by the collector's ring.
+type SpanRecord struct {
+	ID       uint64    `json:"id"`
+	Parent   uint64    `json:"parent,omitempty"` // 0 = root
+	Name     string    `json:"name"`
+	Track    int       `json:"track"` // collector track (Perfetto tid)
+	StartUs  float64   `json:"start_us"`
+	DurUs    float64   `json:"dur_us"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+	Instants []Instant `json:"instants,omitempty"`
+}
+
+// DefaultSpanCapacity is the ring size when NewCollector is given <= 0; a
+// full campaign (experiments × runs × attempts) is a few hundred spans, so
+// the default retains everything with headroom.
+const DefaultSpanCapacity = 8192
+
+// TrackCampaign is the pre-registered track 0, carrying campaign- and
+// experiment-level spans (worker and core tracks are registered on demand).
+const TrackCampaign = 0
+
+// Collector records hierarchical spans into a fixed-capacity ring buffer.
+// Starting a span is an atomic ID fetch; the only lock is a short critical
+// section copying the finished record into the ring at End, so collection
+// stays cheap under the worker pool. A nil *Collector is fully inert.
+type Collector struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+
+	mu         sync.Mutex
+	ring       []SpanRecord
+	total      uint64 // spans ever ended; ring holds the last len(ring)
+	tracks     map[string]int
+	trackNames []string
+}
+
+// NewCollector builds a collector retaining the last capacity spans
+// (DefaultSpanCapacity when capacity <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Collector{
+		epoch:      time.Now(),
+		ring:       make([]SpanRecord, 0, capacity),
+		tracks:     map[string]int{"campaign": TrackCampaign},
+		trackNames: []string{"campaign"},
+	}
+}
+
+// now returns the monotonic offset from the collector epoch in µs.
+func (c *Collector) now() float64 {
+	return float64(time.Since(c.epoch).Nanoseconds()) / 1e3
+}
+
+// Track returns the stable integer ID for a named timeline track (one per
+// pool worker, soc core, ...), registering it on first use. Track IDs map
+// onto Perfetto thread IDs in the trace export. Nil-safe (returns 0).
+func (c *Collector) Track(name string) int {
+	if c == nil {
+		return TrackCampaign
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.tracks[name]; ok {
+		return id
+	}
+	id := len(c.trackNames)
+	c.tracks[name] = id
+	c.trackNames = append(c.trackNames, name)
+	return id
+}
+
+// TrackNames returns the registered track names indexed by track ID.
+func (c *Collector) TrackNames() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.trackNames...)
+}
+
+// Start opens a span under parent (nil = root). On a nil collector it
+// returns a nil span, on which every method is an allocation-free no-op.
+func (c *Collector) Start(name string, parent *Span) *Span {
+	if c == nil {
+		return nil
+	}
+	s := &Span{c: c, id: c.nextID.Add(1), name: name, start: c.now()}
+	if parent != nil {
+		s.parent = parent.id
+		s.track = parent.track
+	}
+	return s
+}
+
+// end appends a finished span record to the ring.
+func (c *Collector) end(rec SpanRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, rec)
+	} else {
+		c.ring[c.total%uint64(len(c.ring))] = rec
+	}
+	c.total++
+}
+
+// Snapshot returns the retained spans in end order (oldest first).
+func (c *Collector) Snapshot() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, 0, len(c.ring))
+	if c.total > uint64(len(c.ring)) { // ring wrapped: start at the oldest slot
+		at := c.total % uint64(len(c.ring))
+		out = append(out, c.ring[at:]...)
+		out = append(out, c.ring[:at]...)
+	} else {
+		out = append(out, c.ring...)
+	}
+	return out
+}
+
+// Total returns the number of spans ever ended (retained or evicted).
+func (c *Collector) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Span is one in-flight interval. It is owned by the goroutine that
+// started it (matching the engine: a run executes on one pool worker);
+// End publishes it to the collector's ring. All methods are nil-safe.
+type Span struct {
+	c        *Collector
+	id       uint64
+	parent   uint64
+	name     string
+	track    int
+	start    float64
+	attrs    []Attr
+	instants []Instant
+}
+
+// Child opens a sub-span on the same track.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.c.Start(name, s)
+}
+
+// SetTrack places the span (and children started after this) on a track.
+func (s *Span) SetTrack(track int) *Span {
+	if s != nil {
+		s.track = track
+	}
+	return s
+}
+
+// Attr attaches one structured attribute; chainable.
+func (s *Span) Attr(key string, value any) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	return s
+}
+
+// Instant records a point event (e.g. an injected fault) inside the span.
+func (s *Span) Instant(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.instants = append(s.instants, Instant{Name: name, AtUs: s.c.now(), Attrs: attrs})
+}
+
+// ID returns the span's collector-unique ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End closes the span and publishes it to the collector.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.c.end(SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Track:    s.track,
+		StartUs:  s.start,
+		DurUs:    s.c.now() - s.start,
+		Attrs:    s.attrs,
+		Instants: s.instants,
+	})
+}

@@ -1,0 +1,95 @@
+// Package telemetry is the measurement engine's own observability layer:
+// the same lens the simulator points at the Morello platform (PMU counters,
+// top-down attribution), turned back onto the campaign engine that drives
+// it. It is dependency-free (stdlib only) and built around one invariant:
+// a nil *Hub is a fully inert telemetry system — every method on every
+// handle is nil-safe, performs no work, and allocates nothing, so the
+// instrumented hot paths cost a pointer test when telemetry is off and the
+// campaign output stays byte-identical.
+//
+// Three coordinated pieces:
+//
+//   - Collector: hierarchical spans (campaign → experiment → workload-run
+//     → attempt) on a lock-cheap ring buffer, safe under the worker pool,
+//     with instant events (fault injections) attached to the span they
+//     occurred in. Spans carry structured attributes (ABI, workload,
+//     scale, seed, uops, sim-ms, ...).
+//   - Registry: counters, gauges and histograms with a stable-ordered,
+//     parseable text snapshot.
+//   - Exporters: a Chrome trace-event (Perfetto-loadable) JSON writer
+//     rendering one track per pool worker, and an ops HTTP server serving
+//     /metrics, /spans, /healthz and net/http/pprof.
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Hub bundles the telemetry backends one campaign shares. A nil Hub is the
+// disabled state: handles obtained through it are nil and all operations on
+// them are allocation-free no-ops.
+type Hub struct {
+	Spans   *Collector
+	Metrics *Registry
+	Log     *slog.Logger
+}
+
+// New builds an enabled hub with a default-capacity span collector, an
+// empty registry, and a discarded log (replace Log to enable logging).
+func New() *Hub {
+	return &Hub{
+		Spans:   NewCollector(0),
+		Metrics: NewRegistry(),
+		Log:     Discard(),
+	}
+}
+
+// Enabled reports whether the hub records anything at all.
+func (h *Hub) Enabled() bool { return h != nil }
+
+// Collector returns the hub's span collector, nil when disabled.
+func (h *Hub) collector() *Collector {
+	if h == nil {
+		return nil
+	}
+	return h.Spans
+}
+
+// Start opens a root-level span on the hub's collector (nil-safe).
+func (h *Hub) Start(name string) *Span { return h.collector().Start(name, nil) }
+
+// Logger returns the hub's structured logger, or a discarding logger when
+// the hub is nil or has none, so call sites never need a nil check.
+func (h *Hub) Logger() *slog.Logger {
+	if h == nil || h.Log == nil {
+		return Discard()
+	}
+	return h.Log
+}
+
+// discardLogger is the shared silent logger (slog.DiscardHandler is Go
+// 1.24+; the module targets 1.22, so discard via a leveled-out handler).
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.Level(127),
+}))
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return discardLogger }
+
+// NewLogger builds a structured logger at the given level ("debug", "info",
+// "warn", "error"; empty disables logging) writing text or JSON lines to w.
+func NewLogger(w io.Writer, level string, jsonFormat bool) (*slog.Logger, error) {
+	if level == "" {
+		return Discard(), nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}

@@ -1,0 +1,424 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"cherisim/internal/telemetry"
+)
+
+// TestDisabledPathIsInertAndAllocationFree pins the package invariant: a
+// nil hub hands out nil handles and every operation on them is a no-op
+// that allocates nothing — the contract the session hot path relies on.
+func TestDisabledPathIsInertAndAllocationFree(t *testing.T) {
+	var h *telemetry.Hub
+	if h.Enabled() {
+		t.Fatal("nil hub reports enabled")
+	}
+	var c *telemetry.Collector
+	var r *telemetry.Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := h.Start("campaign")
+		sp.Child("run").Attr("k", 1).End()
+		sp.End()
+		c.Start("x", nil).End()
+		r.Counter("runs").Inc()
+		r.Gauge("occ").Add(1)
+		r.Histogram("ms", nil).Observe(1.5)
+		_ = c.Track("worker-0")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f objects per run, want 0", allocs)
+	}
+	if got := c.Snapshot(); got != nil {
+		t.Fatalf("nil collector snapshot = %v, want nil", got)
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+	if h.Logger() == nil {
+		t.Fatal("nil hub must still hand out a usable logger")
+	}
+	h.Logger().Info("dropped")
+}
+
+// TestRegistrySnapshotRoundTrip asserts the text snapshot is
+// deterministically ordered and parses back to identical values.
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("runs_started").Add(42)
+	r.Counter("deadline_aborts").Inc()
+	r.Gauge("pool_occupancy").Set(3)
+	h := r.Histogram("run_wall_ms", telemetry.ExpBuckets(1, 2, 4))
+	for _, v := range []float64{0.5, 1, 3, 9, 100} {
+		h.Observe(v)
+	}
+
+	var a, b bytes.Buffer
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two snapshots of identical state differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Kind-major, name-minor ordering.
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	want := []string{
+		"counter deadline_aborts 1",
+		"counter runs_started 42",
+		"gauge pool_occupancy 3",
+		"histogram run_wall_ms count 5 sum 113.5 1:2 2:0 4:1 8:0 +Inf:2",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Fatalf("snapshot text:\n%q\nwant:\n%q", lines, want)
+	}
+
+	parsed, err := telemetry.ParseText(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, r.Snapshot()) {
+		t.Fatalf("round trip diverged:\nparsed  %+v\ndirect  %+v", parsed, r.Snapshot())
+	}
+}
+
+// TestParseTextRejectsMalformed covers the parser's error paths.
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"counter only_two",
+		"sparkline foo 3",
+		"counter x notanumber",
+		"histogram h count x sum 1 +Inf:0",
+		"histogram h count 1 sum 1 nocolon",
+	} {
+		if _, err := telemetry.ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestHistogramBuckets pins le-semantics: a sample equal to a bound lands
+// in that bound's bucket, larger samples overflow to +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("x", []float64{1, 10})
+	h.Observe(1)    // le=1
+	h.Observe(1.01) // le=10
+	h.Observe(11)   // +Inf
+	var p telemetry.Point
+	for _, pt := range r.Snapshot() {
+		if pt.Name == "x" {
+			p = pt
+		}
+	}
+	got := []int64{p.Buckets[0].Count, p.Buckets[1].Count, p.Buckets[2].Count}
+	if !reflect.DeepEqual(got, []int64{1, 1, 1}) {
+		t.Fatalf("bucket counts = %v, want [1 1 1]", got)
+	}
+	if !math.IsInf(p.Buckets[2].UpperBound, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", p.Buckets[2].UpperBound)
+	}
+}
+
+// TestSpanRingEviction asserts the collector retains the most recent
+// spans once the ring wraps, in end order.
+func TestSpanRingEviction(t *testing.T) {
+	c := telemetry.NewCollector(4)
+	for i := 0; i < 7; i++ {
+		c.Start(fmt.Sprintf("s%d", i), nil).End()
+	}
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		if want := fmt.Sprintf("s%d", i+3); rec.Name != want {
+			t.Fatalf("slot %d = %s, want %s", i, rec.Name, want)
+		}
+	}
+	if c.Total() != 7 {
+		t.Fatalf("total = %d, want 7", c.Total())
+	}
+}
+
+// TestTraceExportSchemaAndNesting builds the campaign→experiment→run→
+// attempt hierarchy across worker tracks, exports it, and validates the
+// trace-event schema plus the nesting invariants Perfetto renders from:
+// every child event lies within its parent's interval, run/attempt events
+// sit on their worker's track, and instants land inside their span.
+func TestTraceExportSchemaAndNesting(t *testing.T) {
+	c := telemetry.NewCollector(0)
+	campaign := c.Start("campaign", nil)
+	w0 := c.Track("worker-0")
+	w1 := c.Track("worker-1")
+	for i, track := range []int{w0, w1} {
+		run := campaign.Child(fmt.Sprintf("run:w%d", i)).SetTrack(track).Attr("abi", "purecap")
+		att := run.Child("attempt:0")
+		att.Instant("inject:tag-clear", telemetry.A("uop", 4096))
+		att.End()
+		run.End()
+	}
+	exp := campaign.Child("experiment:fig1")
+	exp.End()
+	campaign.End()
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Ts    float64        `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			Pid   int            `json:"pid"`
+			Tid   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+
+	type interval struct {
+		lo, hi float64
+		tid    int
+	}
+	spans := map[float64]interval{} // span_id -> interval
+	threadNames := map[int]string{}
+	var nX, nI int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid] = ev.Args["name"].(string)
+			}
+		case "X":
+			nX++
+			if ev.Dur == nil {
+				t.Fatalf("complete event %q without dur", ev.Name)
+			}
+			id, ok := ev.Args["span_id"].(float64)
+			if !ok {
+				t.Fatalf("complete event %q without span_id", ev.Name)
+			}
+			spans[id] = interval{ev.Ts, ev.Ts + *ev.Dur, ev.Tid}
+		case "i":
+			nI++
+			if ev.Scope != "t" {
+				t.Fatalf("instant %q scope = %q, want thread", ev.Name, ev.Scope)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if nX != 6 { // campaign + 2 runs + 2 attempts + experiment
+		t.Fatalf("%d complete events, want 6", nX)
+	}
+	if nI != 2 {
+		t.Fatalf("%d instant events, want 2", nI)
+	}
+	if threadNames[0] != "campaign" || threadNames[w0] != "worker-0" || threadNames[w1] != "worker-1" {
+		t.Fatalf("track metadata wrong: %v", threadNames)
+	}
+
+	// Nesting: every event with a parent lies inside the parent's interval;
+	// instants lie inside their span's interval on the same track.
+	for _, ev := range tr.TraceEvents {
+		id, _ := ev.Args["span_id"].(float64)
+		switch ev.Phase {
+		case "X":
+			if pid, ok := ev.Args["parent_id"].(float64); ok {
+				p, ok := spans[pid]
+				if !ok {
+					t.Fatalf("%q references unexported parent %v", ev.Name, pid)
+				}
+				child := spans[id]
+				if child.lo < p.lo || child.hi > p.hi {
+					t.Fatalf("%q [%v,%v] escapes parent [%v,%v]", ev.Name, child.lo, child.hi, p.lo, p.hi)
+				}
+			}
+			if strings.HasPrefix(ev.Name, "run:") || strings.HasPrefix(ev.Name, "attempt:") {
+				if !strings.HasPrefix(threadNames[ev.Tid], "worker-") {
+					t.Fatalf("%q on track %q, want a worker track", ev.Name, threadNames[ev.Tid])
+				}
+			}
+		case "i":
+			sp, ok := spans[id]
+			if !ok {
+				t.Fatalf("instant %q has no enclosing span", ev.Name)
+			}
+			if ev.Ts < sp.lo || ev.Ts > sp.hi || ev.Tid != sp.tid {
+				t.Fatalf("instant %q at %v/track %d outside span [%v,%v]/track %d",
+					ev.Name, ev.Ts, ev.Tid, sp.lo, sp.hi, sp.tid)
+			}
+		}
+	}
+}
+
+// TestConcurrentRecording hammers one hub from many goroutines — the shape
+// of a -jobs pool with an ops scraper attached — and is meaningful under
+// -race.
+func TestConcurrentRecording(t *testing.T) {
+	h := telemetry.New()
+	root := h.Start("campaign")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			track := h.Spans.Track(fmt.Sprintf("worker-%d", g))
+			for i := 0; i < 200; i++ {
+				sp := root.Child("run").SetTrack(track).Attr("i", i)
+				sp.Instant("inject")
+				sp.End()
+				h.Metrics.Counter("runs_completed").Inc()
+				h.Metrics.Histogram("run_wall_ms", nil).Observe(float64(i))
+				h.Metrics.Gauge("pool_occupancy").Add(1)
+				h.Metrics.Gauge("pool_occupancy").Add(-1)
+			}
+		}(g)
+	}
+	// Concurrent readers: snapshots and exports while writers run.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				h.Spans.Snapshot()
+				h.Metrics.WriteText(io.Discard)
+				telemetry.WriteTrace(io.Discard, h.Spans)
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := h.Metrics.Counter("runs_completed").Value(); got != 1600 {
+		t.Fatalf("runs_completed = %d, want 1600", got)
+	}
+	if got := h.Spans.Total(); got != 1601 {
+		t.Fatalf("span total = %d, want 1601", got)
+	}
+}
+
+// TestOpsServer boots the ops endpoint on a loopback port and checks every
+// route serves while spans/metrics are being recorded.
+func TestOpsServer(t *testing.T) {
+	h := telemetry.New()
+	h.Metrics.Counter("runs_started").Add(7)
+	h.Start("campaign").End()
+
+	srv, err := telemetry.StartOps("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // live campaign load while scraping
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Start("run").End()
+				h.Metrics.Counter("runs_started").Inc()
+			}
+		}
+	}()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+	body, ct := get("/metrics")
+	if !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	pts, err := telemetry.ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if len(pts) == 0 || pts[0].Name != "runs_started" || pts[0].Value < 7 {
+		t.Fatalf("unexpected /metrics payload: %+v", pts)
+	}
+	body, ct = get("/spans")
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("/spans content type %q", ct)
+	}
+	var spans []telemetry.SpanRecord
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/spans is not JSON: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("/spans empty during a live campaign")
+	}
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNewLogger covers level parsing and output formats.
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := telemetry.NewLogger(&buf, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("visible", "workload", "leela")
+	if strings.Contains(buf.String(), "hidden") || !strings.Contains(buf.String(), "visible") {
+		t.Fatalf("level filtering broken: %q", buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler output not JSON: %v", err)
+	}
+	if rec["workload"] != "leela" {
+		t.Fatalf("structured attr lost: %v", rec)
+	}
+	if _, err := telemetry.NewLogger(&buf, "nope", false); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	silent, err := telemetry.NewLogger(&buf, "", false)
+	if err != nil || silent == nil {
+		t.Fatalf("empty level must yield a discard logger: %v", err)
+	}
+}
