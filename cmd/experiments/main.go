@@ -57,6 +57,8 @@ func main() {
 		`inject capability faults into every run: "all" or comma-separated kinds (tag-clear, line-corrupt, bounds-truncate, perm-drop, spurious-trap)`)
 	chaosSeed := flag.Uint64("chaos-seed", 1, "campaign seed for the deterministic fault injector")
 	chaosRate := flag.Float64("chaos-rate", 400, "injected events per million µops when -chaos is set")
+	checkFlag := flag.Bool("check", false,
+		"run every measurement under the lockstep reference-model checker (slower; divergences are reported on stderr and fail the exit code)")
 	deadline := flag.Int64("deadline", 0, "per-run µop watchdog budget (0 = unlimited)")
 	retries := flag.Int("retries", 2, "bounded retries for transient injected faults")
 	traceOut := flag.String("trace-out", "",
@@ -86,6 +88,7 @@ func main() {
 		s := experiments.NewSession(*scale)
 		cfg.apply(s)
 		s.Telemetry = hub
+		s.Check = *checkFlag
 		return s
 	}
 
@@ -109,16 +112,23 @@ func main() {
 		}
 		out, err := e.Run(s)
 		teardownTelemetry(s, hub, ops, *traceOut)
+		code := reportCheck(s, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("== %s (%s) ==\n%s\n", e.Title, e.Section, out)
+		if code != 0 {
+			os.Exit(code)
+		}
 	case *all:
 		// Degraded-mode campaign: render every experiment that succeeds,
 		// summarise the rest, and reflect failures in the exit code.
 		s := newSession()
 		code := runCampaign(s, os.Stdout, os.Stderr)
 		teardownTelemetry(s, hub, ops, *traceOut)
+		if c := reportCheck(s, os.Stderr); c != 0 {
+			code = c
+		}
 		if code != 0 {
 			os.Exit(code)
 		}
@@ -126,6 +136,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// reportCheck summarizes the session's lockstep checker results on w and
+// returns the exit code contribution: 0 when checking is off or every
+// checked operation agreed with the reference models, 1 on divergence.
+func reportCheck(s *experiments.Session, w io.Writer) int {
+	defer s.CloseCheck()
+	rep := s.CheckReport()
+	if rep.Accesses == 0 && rep.Divergences == 0 {
+		return 0
+	}
+	fmt.Fprintf(w, "experiments: check: %d operations verified against the reference models, %d divergences\n",
+		rep.Accesses, rep.Divergences)
+	if rep.Divergences == 0 {
+		return 0
+	}
+	for _, d := range rep.First {
+		fmt.Fprintf(w, "experiments: check: %s\n", d)
+	}
+	if extra := rep.Divergences - uint64(len(rep.First)); extra > 0 {
+		fmt.Fprintf(w, "experiments: check: ... and %d more divergences\n", extra)
+	}
+	return 1
 }
 
 // runCampaign renders every experiment against s in degraded mode, writes

@@ -44,6 +44,27 @@ type Stats struct {
 	WriteMiss  uint64
 }
 
+// Shadow observes every state-changing cache operation after it completes.
+// internal/check installs a lockstep reference model behind it; a nil
+// shadow costs one pointer test per access and nothing else. Shadows must
+// not touch the cache they are attached to beyond the read-only
+// snapshot/stats accessors.
+type Shadow interface {
+	// Access reports one completed access and its result.
+	Access(addr uint64, write bool, res Result)
+	// InvalidateAll reports a completed flush and its write-back count.
+	InvalidateAll(writeBacks int)
+}
+
+// LineState is a read-only snapshot of one way of one set, exposed for the
+// lockstep checker's state comparison.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	LRU   uint64
+}
+
 // Cache is a single-level set-associative cache. It tracks line presence
 // only (the simulator keeps data in mem.Memory); that is sufficient for
 // timing and PMU behaviour.
@@ -62,8 +83,9 @@ type Cache struct {
 	// mru holds each set's most-recently-used way — a hint probed before
 	// the associative scan. It is always verified against tag+valid, so a
 	// stale hint costs one compare and never changes behaviour.
-	mru   []uint16
-	Stats Stats
+	mru    []uint16
+	shadow Shadow
+	Stats  Stats
 }
 
 // New builds a cache from its configuration.
@@ -126,6 +148,14 @@ type Result struct {
 // identical to the plain scan: same hit/miss outcome, same LRU updates,
 // same victim choice (first invalid way, else lowest-lru, earliest index).
 func (c *Cache) Access(addr uint64, write bool) Result {
+	res := c.access(addr, write)
+	if c.shadow != nil {
+		c.shadow.Access(addr, write, res)
+	}
+	return res
+}
+
+func (c *Cache) access(addr uint64, write bool) Result {
 	c.Stats.Accesses++
 	if write {
 		c.Stats.WriteAcc++
@@ -198,13 +228,55 @@ func (c *Cache) Probe(addr uint64) bool {
 	return false
 }
 
-// InvalidateAll empties the cache (context-switch / flush modelling).
-func (c *Cache) InvalidateAll() {
+// InvalidateAll empties the cache (context-switch / flush modelling) and
+// returns the number of dirty lines the flush wrote back. A write-back
+// cache cannot silently discard dirty data: each such line is a memory
+// write the PMU must see, so the count is also added to Stats.WriteBacks.
+func (c *Cache) InvalidateAll() int {
+	writeBacks := 0
 	for s := range c.sets {
 		for w := range c.sets[s] {
+			if l := &c.sets[s][w]; l.valid && l.dirty {
+				writeBacks++
+			}
 			c.sets[s][w] = line{}
 		}
 	}
+	c.Stats.WriteBacks += uint64(writeBacks)
+	if c.shadow != nil {
+		c.shadow.InvalidateAll(writeBacks)
+	}
+	return writeBacks
+}
+
+// SetShadow installs (or, with nil, removes) the cache's lockstep observer
+// and returns the previous one.
+func (c *Cache) SetShadow(s Shadow) Shadow {
+	prev := c.shadow
+	c.shadow = s
+	return prev
+}
+
+// Shadowed reports whether a lockstep observer is installed.
+func (c *Cache) Shadowed() bool { return c.shadow != nil }
+
+// NumSets returns the number of sets (for the lockstep checker).
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Set returns the set index addr maps to.
+func (c *Cache) Set(addr uint64) int {
+	set, _ := c.index(addr)
+	return set
+}
+
+// AppendSetState appends a snapshot of every way of the given set to dst
+// and returns it, for the lockstep checker's state comparison.
+func (c *Cache) AppendSetState(dst []LineState, set int) []LineState {
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		dst = append(dst, LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, LRU: l.lru})
+	}
+	return dst
 }
 
 // MissRate returns Refills/Accesses (the paper's cache MR metric).

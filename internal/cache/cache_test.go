@@ -272,3 +272,25 @@ func TestMRUHintSurvivesInvalidate(t *testing.T) {
 		t.Fatal("stale MRU hint hit after InvalidateAll")
 	}
 }
+
+// TestInvalidateAllCountsDirtyWriteBacks reproduces the lost-write-back
+// bug: a write-back cache cannot silently discard dirty lines on a flush,
+// so InvalidateAll must report each dirty line as a write-back and account
+// for it in the statistics the PMU model reads.
+func TestInvalidateAllCountsDirtyWriteBacks(t *testing.T) {
+	c := small()           // 4 sets x 2 ways
+	c.Access(0x000, true)  // dirty
+	c.Access(0x040, true)  // dirty
+	c.Access(0x080, false) // clean
+	before := c.Stats.WriteBacks
+	if got := c.InvalidateAll(); got != 2 {
+		t.Fatalf("flush wrote back %d lines, want 2", got)
+	}
+	if c.Stats.WriteBacks != before+2 {
+		t.Fatalf("Stats.WriteBacks = %d, want %d", c.Stats.WriteBacks, before+2)
+	}
+	// Everything is gone and clean: a second flush writes back nothing.
+	if got := c.InvalidateAll(); got != 0 {
+		t.Fatalf("second flush wrote back %d lines, want 0", got)
+	}
+}

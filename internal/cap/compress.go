@@ -102,8 +102,15 @@ func computeE(length uint64) uint {
 // fullSpace is set) into CHERI Concentrate form. It returns the encoded
 // fields, the decompressed bounds that the encoding actually represents
 // (after any rounding), and whether the requested bounds were exactly
-// representable.
+// representable. Every result is reported to the lockstep bounds observer
+// when one is installed (see observe.go).
 func encodeBounds(base, length uint64, fullSpace bool) (encBounds, bounds, bool) {
+	eb, dec, exact := encodeBoundsRaw(base, length, fullSpace)
+	observeEncode(base, length, fullSpace, dec, exact)
+	return eb, dec, exact
+}
+
+func encodeBoundsRaw(base, length uint64, fullSpace bool) (encBounds, bounds, bool) {
 	if fullSpace {
 		// The reset/root capability: E = resetExponent, covering [0, 2^64].
 		eb := encBounds{ie: true, t: uint16(resetExponent >> ieFieldWidth), b: uint16(resetExponent & (1<<ieFieldWidth - 1))}
@@ -134,24 +141,27 @@ func encodeBounds(base, length uint64, fullSpace bool) (encBounds, bounds, bool)
 		}
 		align := uint64(1) << (e + ieFieldWidth)
 		rbase := base &^ (align - 1)
+		// The true top is a 65-bit quantity; under the caller's contract
+		// base+length <= 2^64, a wrap to 0 (before or after rounding up)
+		// means the top is exactly 2^64, which the format can represent at
+		// any exponent via the decoder's topHi reconstruction.
 		rtopV := base + length
-		carryTop := false
 		if r := rtopV & (align - 1); r != 0 {
 			rtopV += align - r
-			if rtopV < align { // wrapped past 2^64
-				carryTop = true
-			}
 		}
-		var rlen uint64
-		if carryTop {
-			rlen = ^uint64(0)
-		} else {
-			rlen = rtopV - rbase
+		if rtopV == 0 && rbase == 0 {
+			// Rounded region is the entire address space: no internal
+			// exponent fits, only the reset capability covers it.
+			eb := encBounds{ie: true, t: uint16(resetExponent >> ieFieldWidth), b: uint16(resetExponent & (1<<ieFieldWidth - 1))}
+			return eb, bounds{topHi: true}, false
 		}
+		// 65-bit length via wrapping subtraction: with rtopV == 0 meaning
+		// 2^64, 0 - rbase is exactly 2^64 - rbase for any rbase > 0.
+		rlen := rtopV - rbase
 		// Verify the rounded length still fits at this exponent; the top
 		// mantissa stores mantissaWidth-2 significant bits plus an implied
 		// leading 1, so the length must be < 2^(mantissaWidth-1+e).
-		if carryTop || rlen>>(e+mantissaWidth-1) != 0 {
+		if rlen>>(e+mantissaWidth-1) != 0 {
 			e++
 			continue
 		}
@@ -244,17 +254,28 @@ func decodeBounds(eb encBounds, addr uint64) bounds {
 // RepresentableAlignmentMask returns the CRAM value for a region of the
 // given length: a mask of the low address bits that must be zero for the
 // base (and length) of a region of that size to be exactly representable.
+//
+// Lengths so large that no internal-exponent encoding fits (rounding up
+// reaches 2^64, or the exponent would exceed maxExponent) are coverable
+// only by the full-address-space capability, whose sole representable base
+// is 0: the mask for them is 0 (every address bit must be zero).
 func RepresentableAlignmentMask(length uint64) uint64 {
 	e := computeE(length)
 	ie := e != 0 || (length>>(mantissaWidth-2))&1 != 0
 	if !ie {
 		return ^uint64(0)
 	}
-	// Rounding the length up may bump the exponent; iterate as encodeBounds does.
+	// Rounding the length up may bump the exponent; iterate as encodeBounds
+	// does. The round-up is 65-bit: a carry out of length+align-1 means the
+	// rounded length reached 2^64 and cannot fit this exponent's mantissa.
 	for {
+		if e > maxExponent {
+			return 0
+		}
 		align := uint64(1) << (e + ieFieldWidth)
-		rlen := (length + align - 1) &^ (align - 1)
-		if rlen>>(e+mantissaWidth-1) != 0 {
+		sum, carry := bits.Add64(length, align-1, 0)
+		rlen := sum &^ (align - 1)
+		if carry != 0 || rlen>>(e+mantissaWidth-1) != 0 {
 			e++
 			continue
 		}
@@ -264,8 +285,18 @@ func RepresentableAlignmentMask(length uint64) uint64 {
 
 // RepresentableLength returns the CRRL value: the smallest representable
 // region length that is >= the requested length when the base is aligned to
-// RepresentableAlignmentMask(length).
+// RepresentableAlignmentMask(length). The true CRRL of lengths only the
+// full-address-space capability can cover is 2^64, which saturates to the
+// maximum uint64 (the same convention Capability.Length uses for the
+// full-space region).
 func RepresentableLength(length uint64) uint64 {
 	mask := RepresentableAlignmentMask(length)
-	return (length + ^mask) & mask
+	crrl := ^uint64(0) // 2^64 saturated: only [0, 2^64] covers this length
+	if mask != 0 {
+		if sum, carry := bits.Add64(length, ^mask, 0); carry == 0 {
+			crrl = sum & mask
+		}
+	}
+	observeCRRL(length, crrl, mask)
+	return crrl
 }

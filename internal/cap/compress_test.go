@@ -163,3 +163,90 @@ func TestContainsEdges(t *testing.T) {
 		}
 	}
 }
+
+// TestRepresentableBoundary pins CRRL/CRAM at and around the 2^64 edge and
+// the mantissa/exponent boundaries, where 64-bit arithmetic overflows if
+// not done carefully. The largest normally-encodable length is
+// 2^63 - 2^53 (exponent 50, 2^53-byte grains); anything larger is coverable
+// only by the full-address-space capability, so its mask is 0 and its CRRL
+// saturates to 2^64 (reported as ^uint64(0)).
+func TestRepresentableBoundary(t *testing.T) {
+	const (
+		maxLen   = uint64(1)<<63 - uint64(1)<<53 // largest encodable length
+		maxAlign = uint64(1) << 53               // its alignment grain
+	)
+	cases := []struct {
+		length   uint64
+		wantCRRL uint64
+		wantCRAM uint64
+	}{
+		// Only the full space covers these: mask 0, saturated CRRL.
+		{^uint64(0), ^uint64(0), 0},
+		{1 << 63, ^uint64(0), 0},
+		{uint64(1)<<63 - 1, ^uint64(0), 0},
+		{maxLen + 1, ^uint64(0), 0},
+		// The largest encodable length and just below it.
+		{maxLen, maxLen, ^(maxAlign - 1)},
+		{maxLen - 1, maxLen, ^(maxAlign - 1)},
+		// Exponent-50 region well inside the top grain.
+		{1 << 62, 1 << 62, ^(maxAlign - 1)},
+		// Mantissa boundary: lengths below 2^12 are exact at any base.
+		{uint64(1)<<12 - 1, uint64(1)<<12 - 1, ^uint64(0)},
+		{1 << 12, 1 << 12, ^uint64(7)},
+		{uint64(1)<<12 + 1, uint64(1)<<12 + 8, ^uint64(7)},
+	}
+	for _, tc := range cases {
+		if got := RepresentableLength(tc.length); got != tc.wantCRRL {
+			t.Errorf("CRRL(%#x) = %#x, want %#x", tc.length, got, tc.wantCRRL)
+		}
+		if got := RepresentableAlignmentMask(tc.length); got != tc.wantCRAM {
+			t.Errorf("CRAM(%#x) = %#x, want %#x", tc.length, got, tc.wantCRAM)
+		}
+	}
+}
+
+// TestBoundsRoundUpToTopOfSpace covers encoding a region whose top rounds
+// up to exactly 2^64: the encoder must keep the requested base and mark
+// the 65-bit top, not widen to the full-address-space capability.
+func TestBoundsRoundUpToTopOfSpace(t *testing.T) {
+	base := ^uint64(0) - (1 << 20) + 1 // 2^64 - 2^20
+	length := uint64(1)<<20 - 1        // top = 2^64 - 1, rounds up to 2^64
+	_, dec, exact := encodeBounds(base, length, false)
+	if exact {
+		t.Fatal("rounded region declared exact")
+	}
+	if !dec.topHi {
+		t.Fatalf("top should be exactly 2^64, got [%#x,%#x)", dec.base, dec.top)
+	}
+	if dec.base != base {
+		t.Fatalf("base widened to %#x, want %#x (full-space fallback bug)", dec.base, base)
+	}
+	// The same region requested exactly (top == 2^64, no rounding).
+	_, dec2, exact2 := encodeBounds(base, length+1, false)
+	if !dec2.topHi || dec2.base != base {
+		t.Fatalf("exact-to-2^64 region decoded as [%#x,%#x) topHi=%v", dec2.base, dec2.top, dec2.topHi)
+	}
+	if exact2 {
+		t.Fatal("regions ending at 2^64 are never declared exact")
+	}
+	// Derivation-level view: SetBounds keeps the base, Top saturates.
+	c, err := Root().SetBounds(base, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base() != base || !c.TopIsFull() {
+		t.Fatalf("SetBounds gave [%#x,%#x] full=%v", c.Base(), c.Top(), c.TopIsFull())
+	}
+}
+
+// TestRepresentableLengthFullRange is the uncapped version of
+// TestRepresentableLength: CRRL never shrinks a request anywhere in the
+// 64-bit range, including lengths whose old computation overflowed.
+func TestRepresentableLengthFullRange(t *testing.T) {
+	f := func(length uint64) bool {
+		return RepresentableLength(length) >= length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

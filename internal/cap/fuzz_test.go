@@ -12,9 +12,15 @@ func FuzzBoundsEncodeDecode(f *testing.F) {
 	f.Add(uint64(0x1000), uint64(4096))
 	f.Add(uint64(0xdead_beef_f00d), uint64(1<<30))
 	f.Add(uint64(1)<<47, uint64(1)<<40)
+	f.Add(uint64(1)<<63, uint64(1)<<63) // region ending exactly at 2^64
+	f.Add(uint64(0), ^uint64(0))
+	f.Add(^uint64(0)-7, uint64(8)) // small object at the top of the space
 	f.Fuzz(func(t *testing.T, base, length uint64) {
-		base %= 1 << 56
-		length %= 1 << 56
+		// Encoder contract: base+length <= 2^64 (SetBounds guarantees it
+		// via the containment check).
+		if base != 0 && length > -base {
+			length = -base
+		}
 		eb, dec, exact := encodeBounds(base, length, false)
 		if !dec.contains(base, length) {
 			t.Fatalf("bounds [%#x,%#x) lost request base=%#x len=%#x", dec.base, dec.top, base, length)
@@ -53,13 +59,32 @@ func FuzzRepresentableRounding(f *testing.F) {
 	f.Add(uint64(1))
 	f.Add(uint64(4096))
 	f.Add(uint64(1<<20 + 7))
+	f.Add(uint64(1) << 63)       // coverable only by the full-space capability
+	f.Add(^uint64(0))            // 2^64 - 1
+	f.Add(uint64(1)<<63 - 1)     // rounds up past the largest encodable length
+	f.Add(uint64(1) << 62)       // largest-exponent normal encoding
+	f.Add(uint64(1) << (14 - 2)) // mantissa boundary: smallest I_E length
+	f.Add(uint64(1)<<(14-2) - 1) // largest exact-at-any-base length
 	f.Fuzz(func(t *testing.T, length uint64) {
-		length %= 1 << 56
 		rlen := RepresentableLength(length)
 		if rlen < length {
 			t.Fatalf("CRRL(%#x) = %#x shrank", length, rlen)
 		}
 		mask := RepresentableAlignmentMask(length)
+		if mask == 0 {
+			// Only the full-space capability covers this length; its CRRL
+			// is 2^64, saturated.
+			if rlen != ^uint64(0) {
+				t.Fatalf("CRAM(%#x) = 0 but CRRL = %#x, want saturation", length, rlen)
+			}
+			return
+		}
+		// With a usable mask, rounding must stay below 2^64 and be minimal:
+		// shrinking by one alignment grain would drop below the request.
+		align := ^mask + 1
+		if align != 0 && rlen-align >= length && rlen != length {
+			t.Fatalf("CRRL(%#x) = %#x not minimal at align %#x", length, rlen, align)
+		}
 		base := (uint64(0x7777_0000_0000) & mask)
 		_, dec, exact := encodeBounds(base, rlen, false)
 		if !exact {

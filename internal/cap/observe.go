@@ -1,0 +1,80 @@
+package cap
+
+import "sync/atomic"
+
+// This file is the capability layer's lockstep tap. The compressor is pure
+// arithmetic with no mutable state to snapshot, so instead of the shadow
+// objects the cache/TLB models carry, it exposes a process-global observer
+// that sees every bounds-compression result. internal/check registers a
+// big-integer reference model behind it; with no observer installed the
+// cost is one atomic pointer load per operation.
+
+// BoundsOp identifies which compression primitive produced an observation.
+type BoundsOp uint8
+
+// BoundsOp values.
+const (
+	// BoundsEncode is a CHERI Concentrate bounds encoding (SCBNDS and every
+	// derived re-encode, including representability checks on address moves).
+	BoundsEncode BoundsOp = iota
+	// BoundsCRRL is a representable-length/alignment query (CRRL + CRAM).
+	BoundsCRRL
+)
+
+// BoundsObservation records the inputs and outputs of one completed
+// bounds-compression operation, in the saturated-uint64 convention the
+// package uses externally (a top of exactly 2^64 sets DecTopFull).
+type BoundsObservation struct {
+	Op        BoundsOp
+	Base      uint64 // encode input (0 for CRRL)
+	Length    uint64 // requested length
+	FullSpace bool   // encode of the reset/root capability
+
+	// Encode outputs: the decompressed bounds the encoding represents.
+	DecBase    uint64
+	DecTop     uint64
+	DecTopFull bool // top is exactly 2^64
+	Exact      bool
+
+	// CRRL outputs.
+	CRRL uint64
+	CRAM uint64
+}
+
+// boundsObserver holds the installed observer; atomic so capability
+// operations on concurrently simulated machines read it without locking.
+var boundsObserver atomic.Pointer[func(BoundsObservation)]
+
+// SetBoundsObserver installs fn as the process-wide bounds observer (nil
+// removes it) and returns the previously installed observer. The observer
+// runs inline on every bounds compression, possibly from multiple
+// goroutines at once, and must not call back into this package.
+func SetBoundsObserver(fn func(BoundsObservation)) func(BoundsObservation) {
+	var prev *func(BoundsObservation)
+	if fn == nil {
+		prev = boundsObserver.Swap(nil)
+	} else {
+		prev = boundsObserver.Swap(&fn)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// observeEncode reports one completed bounds encoding.
+func observeEncode(base, length uint64, fullSpace bool, dec bounds, exact bool) {
+	if obs := boundsObserver.Load(); obs != nil {
+		(*obs)(BoundsObservation{
+			Op: BoundsEncode, Base: base, Length: length, FullSpace: fullSpace,
+			DecBase: dec.base, DecTop: dec.top, DecTopFull: dec.topHi, Exact: exact,
+		})
+	}
+}
+
+// observeCRRL reports one completed representability query.
+func observeCRRL(length, crrl, cram uint64) {
+	if obs := boundsObserver.Load(); obs != nil {
+		(*obs)(BoundsObservation{Op: BoundsCRRL, Length: length, CRRL: crrl, CRAM: cram})
+	}
+}

@@ -1,0 +1,127 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cherisim/internal/cap"
+	"cherisim/internal/refmodel"
+)
+
+// The bounds compressor is pure arithmetic, so its lockstep tap is a
+// process-global observer (cap.SetBoundsObserver) rather than a per-object
+// shadow: every collector that called EnableBounds receives every
+// observation. Verification runs once per observation and the verdict is
+// fanned out, so concurrent sessions pay one big.Int re-encode, not one
+// per collector.
+
+var (
+	boundsMu        sync.Mutex
+	boundsTaps      atomic.Pointer[[]*Collector]
+	boundsInstalled bool
+)
+
+// EnableBounds registers the collector for bounds-compression checking,
+// installing the process-wide observer on first use. Call Close when the
+// collector's campaign is done to stop attributing later operations to it.
+func (c *Collector) EnableBounds() {
+	boundsMu.Lock()
+	defer boundsMu.Unlock()
+	cur := boundsTaps.Load()
+	var next []*Collector
+	if cur != nil {
+		for _, t := range *cur {
+			if t == c {
+				return
+			}
+		}
+		next = append(next, *cur...)
+	}
+	next = append(next, c)
+	boundsTaps.Store(&next)
+	if !boundsInstalled {
+		cap.SetBoundsObserver(dispatchBounds)
+		boundsInstalled = true
+	}
+}
+
+// Close unregisters the collector from the bounds tap. Cache and TLB
+// checkers die with their machines and need no teardown.
+func (c *Collector) Close() {
+	boundsMu.Lock()
+	defer boundsMu.Unlock()
+	cur := boundsTaps.Load()
+	if cur == nil {
+		return
+	}
+	next := make([]*Collector, 0, len(*cur))
+	for _, t := range *cur {
+		if t != c {
+			next = append(next, t)
+		}
+	}
+	boundsTaps.Store(&next)
+}
+
+// dispatchBounds is the installed cap bounds observer.
+func dispatchBounds(o cap.BoundsObservation) {
+	taps := boundsTaps.Load()
+	if taps == nil || len(*taps) == 0 {
+		return
+	}
+	detail := VerifyBounds(o)
+	var div *Divergence
+	if detail != "" {
+		op := describeBounds(o)
+		div = &Divergence{Component: "bounds", Op: op, Detail: detail, Trace: []string{op}}
+	}
+	for _, c := range *taps {
+		c.operation()
+		if div != nil {
+			c.record(div)
+		}
+	}
+}
+
+// describeBounds renders the observation's inputs as a replayable op.
+func describeBounds(o cap.BoundsObservation) string {
+	if o.Op == cap.BoundsCRRL {
+		return fmt.Sprintf("crrl/cram length=%#x", o.Length)
+	}
+	return fmt.Sprintf("encode base=%#x length=%#x fullSpace=%v", o.Base, o.Length, o.FullSpace)
+}
+
+// VerifyBounds checks one observed bounds-compression result against the
+// big-integer reference model, returning a description of the first
+// mismatching field, or "" when the models agree. Exposed for the fuzz
+// targets, which drive the optimized encoder directly.
+func VerifyBounds(o cap.BoundsObservation) string {
+	switch o.Op {
+	case cap.BoundsCRRL:
+		wantLen := refmodel.RepresentableLength(o.Length)
+		wantMask := refmodel.RepresentableAlignmentMask(o.Length)
+		if o.CRRL != wantLen || o.CRAM != wantMask {
+			return fmt.Sprintf("crrl/cram: optimized len=%#x mask=%#x, reference len=%#x mask=%#x",
+				o.CRRL, o.CRAM, wantLen, wantMask)
+		}
+	case cap.BoundsEncode:
+		ref := refmodel.EncodeBounds(o.Base, o.Length, o.FullSpace)
+		if o.DecBase != ref.Base.Uint64() {
+			return fmt.Sprintf("base: optimized %#x, reference %#x", o.DecBase, ref.Base)
+		}
+		refFull := ref.TopIsFull()
+		if o.DecTopFull != refFull {
+			return fmt.Sprintf("top: optimized full=%v, reference top=%#x", o.DecTopFull, ref.Top)
+		}
+		// When the top is exactly 2^64 the optimized decode's top word is
+		// a don't-care; compare it only for in-range tops.
+		if !o.DecTopFull && o.DecTop != ref.Top.Uint64() {
+			return fmt.Sprintf("top: optimized %#x, reference %#x", o.DecTop, ref.Top)
+		}
+		if o.Exact != ref.Exact {
+			return fmt.Sprintf("exact: optimized %v, reference %v", o.Exact, ref.Exact)
+		}
+	}
+	return ""
+}

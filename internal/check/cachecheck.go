@@ -1,0 +1,109 @@
+package check
+
+import (
+	"fmt"
+
+	"cherisim/internal/cache"
+	"cherisim/internal/refmodel"
+)
+
+// CacheChecker replays every operation of one optimized cache on a naive
+// reference cache and diffs the two after each step: the access result
+// (hit, write-back, write-back address), the full statistics block, and
+// the complete state of the touched set (tag, valid, dirty, LRU sequence
+// per way — so victim-choice divergence is caught on the very access that
+// causes it, not when the wrong line is later evicted).
+type CacheChecker struct {
+	name string
+	opt  *cache.Cache
+	ref  *refmodel.Cache
+	col  *Collector
+	ring opRing
+	dead bool
+	// Reused snapshot buffers keep the per-access compare allocation-free.
+	optBuf, refBuf []cache.LineState
+}
+
+// AttachCache installs a lockstep checker behind c, which must be freshly
+// built (empty, zero stats) so the reference model starts in the same
+// state. A cache that already has a shadow — the shared LLC seen from a
+// second core, typically — is left alone and nil is returned.
+func AttachCache(col *Collector, c *cache.Cache) *CacheChecker {
+	if c.Shadowed() {
+		return nil
+	}
+	k := &CacheChecker{
+		name: c.Config().Name,
+		opt:  c,
+		ref:  refmodel.NewCache(c.Config()),
+		col:  col,
+	}
+	c.SetShadow(k)
+	return k
+}
+
+// Access implements cache.Shadow.
+func (k *CacheChecker) Access(addr uint64, write bool, res cache.Result) {
+	if k.dead {
+		return
+	}
+	k.col.operation()
+	kind := uint8(opCacheRead)
+	if write {
+		kind = opCacheWrite
+	}
+	k.ring.push(traceOp{kind: kind, a: addr})
+	refRes := k.ref.Access(addr, write)
+	if refRes != res {
+		k.diverge(fmt.Sprintf("result: optimized %+v, reference %+v", res, refRes))
+		return
+	}
+	k.compareState(k.opt.Set(addr))
+}
+
+// InvalidateAll implements cache.Shadow.
+func (k *CacheChecker) InvalidateAll(writeBacks int) {
+	if k.dead {
+		return
+	}
+	k.col.operation()
+	k.ring.push(traceOp{kind: opCacheFlush})
+	refWB := k.ref.InvalidateAll()
+	if refWB != writeBacks {
+		k.diverge(fmt.Sprintf("write-backs: optimized %d, reference %d", writeBacks, refWB))
+		return
+	}
+	k.compareState(0)
+}
+
+// compareState diffs statistics and the given set's full state.
+func (k *CacheChecker) compareState(set int) {
+	if k.opt.Stats != k.ref.Stats {
+		k.diverge(fmt.Sprintf("stats: optimized %+v, reference %+v", k.opt.Stats, k.ref.Stats))
+		return
+	}
+	k.optBuf = k.opt.AppendSetState(k.optBuf[:0], set)
+	k.refBuf = k.ref.AppendSetState(k.refBuf[:0], set)
+	for w := range k.optBuf {
+		if k.optBuf[w] != k.refBuf[w] {
+			k.diverge(fmt.Sprintf("set %d way %d: optimized %+v, reference %+v", set, w, k.optBuf[w], k.refBuf[w]))
+			return
+		}
+	}
+}
+
+// Dead reports whether the checker has stopped after a divergence.
+func (k *CacheChecker) Dead() bool { return k.dead }
+
+// diverge reports the mismatch; the diverging operation is the one last
+// pushed onto the trace ring.
+func (k *CacheChecker) diverge(detail string) {
+	k.dead = true
+	k.col.record(&Divergence{
+		Component: k.name,
+		Step:      k.ring.n,
+		Op:        k.ring.ops[(k.ring.n-1)%traceDepth].String(),
+		Detail:    detail,
+		Trace:     k.ring.snapshot(),
+	})
+}

@@ -53,6 +53,7 @@ func runExtMulticore(s *Session) (string, error) {
 				specs[i] = soc.CoreSpec{
 					Config: core.DefaultConfig(a),
 					Body:   func(m *core.Machine) { w.Run(m, s.Scale) },
+					Setup:  s.MachineSetup(),
 				}
 			}
 			res := soc.RunObserved(specs, s.Telemetry)

@@ -12,6 +12,7 @@ import (
 
 	"cherisim/internal/abi"
 	"cherisim/internal/alloc"
+	"cherisim/internal/check"
 	"cherisim/internal/core"
 	"cherisim/internal/faultinject"
 	"cherisim/internal/metrics"
@@ -100,6 +101,15 @@ type Session struct {
 	// violations, deadlines and panics are never retried.
 	Retries int
 
+	// Check, when true, runs every measurement under the lockstep
+	// reference-model harness: each machine's caches and TLBs get a naive
+	// shadow model diffed after every operation, and every bounds
+	// compression is re-derived in big-integer arithmetic (see
+	// internal/check). Divergences never abort a run — they are collected
+	// and reported via CheckReport, and counted on the check_divergences
+	// telemetry counter. Set it before the first Run/Prefetch call.
+	Check bool
+
 	// Telemetry, when non-nil, receives spans, metrics and logs for every
 	// supervised run: a campaign-root span with per-worker run/attempt
 	// spans under it, injected faults as instant events, and the engine's
@@ -109,10 +119,11 @@ type Session struct {
 	// before the first Run/Prefetch call.
 	Telemetry *telemetry.Hub
 
-	mu     sync.Mutex
-	flight map[runKey]*inflight
-	sem    chan int // worker-ID pool: receiving acquires a slot + identity
-	obs    *runObserver
+	mu       sync.Mutex
+	flight   map[runKey]*inflight
+	sem      chan int // worker-ID pool: receiving acquires a slot + identity
+	obs      *runObserver
+	checkCol *check.Collector
 }
 
 // NewSession creates a measurement session at the given workload scale.
@@ -169,6 +180,58 @@ func (s *Session) campaignObserver() *runObserver {
 func (s *Session) shareTelemetryWith(parent *Session) {
 	s.Telemetry = parent.Telemetry
 	s.obs = parent.campaignObserver()
+	s.Check = parent.Check
+	s.checkCol = parent.checkCollector()
+}
+
+// checkCollector returns the session's lockstep collector, building it on
+// first use; nil when checking is off.
+func (s *Session) checkCollector() *check.Collector {
+	if !s.Check {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.checkCol == nil {
+		s.checkCol = check.NewCollector(s.Telemetry)
+		s.checkCol.EnableBounds()
+	}
+	return s.checkCol
+}
+
+// MachineSetup returns the per-machine hook the session installs on its own
+// runs, for experiments that build machines outside the session (the soc
+// co-runs); nil when lockstep checking is off.
+func (s *Session) MachineSetup() func(*core.Machine) {
+	col := s.checkCollector()
+	if col == nil {
+		return nil
+	}
+	return func(m *core.Machine) { col.AttachMachine(m) }
+}
+
+// CheckReport summarizes the lockstep checker's results so far. The zero
+// Report when checking is off.
+func (s *Session) CheckReport() check.Report {
+	s.mu.Lock()
+	col := s.checkCol
+	s.mu.Unlock()
+	if col == nil {
+		return check.Report{}
+	}
+	return col.Report()
+}
+
+// CloseCheck detaches the session's collector from the process-global
+// bounds observer. Call it when the campaign is done and the report has
+// been read; idempotent and a no-op when checking is off.
+func (s *Session) CloseCheck() {
+	s.mu.Lock()
+	col := s.checkCol
+	s.mu.Unlock()
+	if col != nil {
+		col.Close()
+	}
 }
 
 // FinishTelemetry ends the session's campaign-root span so every span is
@@ -269,6 +332,15 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 					inj.Step(m)
 				}
 			})
+		}
+	}
+	if col := s.checkCollector(); col != nil {
+		inner := setup
+		setup = func(m *core.Machine) {
+			col.AttachMachine(m)
+			if inner != nil {
+				inner(m)
+			}
 		}
 	}
 	m, err := workloads.ExecuteHooked(w, cfg, s.Scale, setup)

@@ -1,0 +1,151 @@
+package refmodel
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// CHERI Concentrate reference compressor (Woodruff et al., IEEE TC 2019;
+// CHERI ISA v9 §3), written against the spec with big.Int arithmetic: all
+// rounding happens at full 65-bit precision, so regions touching the 2^64
+// boundary are computed exactly instead of wrapping. The constants are the
+// 128-bit Morello format's, restated here from the spec rather than
+// imported, so the reference and the optimized implementation share no
+// code.
+const (
+	mantissaWidth = 14 // MW: stored B width; T stores MW-2 bits
+	ieFieldWidth  = 3  // low bits of T and B holding E when I_E is set
+	maxExponent   = 50 // largest usable exponent for a normal encoding
+)
+
+// two64 is 2^64, the top of the address space.
+var two64 = new(big.Int).Lsh(big.NewInt(1), 64)
+
+// Bounds is the reference result of a bounds encoding: the decompressed
+// region the encoding represents, at full precision (Top may be exactly
+// 2^64), and whether the requested region was representable unrounded.
+type Bounds struct {
+	Base  *big.Int
+	Top   *big.Int
+	Exact bool
+}
+
+// TopIsFull reports whether the upper bound is exactly 2^64.
+func (b Bounds) TopIsFull() bool { return b.Top.Cmp(two64) == 0 }
+
+// computeE returns the minimal candidate exponent for a region of the
+// given length: the smallest E such that the length's significant bits fit
+// in mantissaWidth-1 bits once the bottom E bits are discarded.
+func computeE(length uint64) uint {
+	if n := bits.Len64(length); n > mantissaWidth-1 {
+		return uint(n - (mantissaWidth - 1))
+	}
+	return 0
+}
+
+// roundRegion rounds [base, base+length) outward to multiples of
+// 2^(e+ieFieldWidth), in exact arithmetic.
+func roundRegion(base, length uint64, e uint) (rbase, rtop *big.Int) {
+	align := new(big.Int).Lsh(big.NewInt(1), e+ieFieldWidth)
+	b := new(big.Int).SetUint64(base)
+	top := new(big.Int).Add(b, new(big.Int).SetUint64(length))
+
+	rbase = new(big.Int).Div(b, align)
+	rbase.Mul(rbase, align)
+
+	rtop = new(big.Int).Add(top, new(big.Int).Sub(align, big.NewInt(1)))
+	rtop.Div(rtop, align)
+	rtop.Mul(rtop, align)
+	return rbase, rtop
+}
+
+// fits reports whether a rounded length is encodable at exponent e: the
+// top mantissa stores mantissaWidth-2 bits plus an implied leading 1, so
+// the length must be below 2^(e+mantissaWidth-1).
+func fits(rlen *big.Int, e uint) bool {
+	limit := new(big.Int).Lsh(big.NewInt(1), e+mantissaWidth-1)
+	return rlen.Cmp(limit) < 0
+}
+
+// EncodeBounds is the reference CHERI Concentrate encoder: it returns the
+// decompressed bounds that encoding [base, base+length) produces, after
+// any representability rounding. The caller must satisfy the monotonicity
+// contract base+length <= 2^64 (every in-simulator derivation does, because
+// SetBounds checks containment in the parent capability first).
+//
+// Exact mirrors the optimized encoder's contract: a region is exact when
+// it is representable unrounded and its top lies strictly below 2^64 (the
+// encoder never declares a region ending exactly at 2^64 exact, so
+// SetBoundsExact refuses it; the full-space reset capability is exact only
+// at base 0).
+func EncodeBounds(base, length uint64, fullSpace bool) Bounds {
+	if fullSpace {
+		return Bounds{Base: big.NewInt(0), Top: new(big.Int).Set(two64), Exact: base == 0}
+	}
+	reqBase := new(big.Int).SetUint64(base)
+	reqTop := new(big.Int).Add(reqBase, new(big.Int).SetUint64(length))
+
+	e := computeE(length)
+	ie := e != 0 || (length>>(mantissaWidth-2))&1 != 0
+	if !ie {
+		// Exact small-object encoding: E = 0, all mantissa bits stored.
+		return Bounds{Base: reqBase, Top: reqTop, Exact: reqTop.Cmp(two64) < 0}
+	}
+	for {
+		if e > maxExponent {
+			// No internal exponent fits: only the full-address-space
+			// capability covers the region.
+			return Bounds{Base: big.NewInt(0), Top: new(big.Int).Set(two64), Exact: false}
+		}
+		rbase, rtop := roundRegion(base, length, e)
+		rlen := new(big.Int).Sub(rtop, rbase)
+		if !fits(rlen, e) {
+			// Rounding the top up carried into a higher bit; widen.
+			e++
+			continue
+		}
+		exact := rbase.Cmp(reqBase) == 0 && rtop.Cmp(reqTop) == 0 && rtop.Cmp(two64) < 0
+		return Bounds{Base: rbase, Top: rtop, Exact: exact}
+	}
+}
+
+// RepresentableAlignmentMask is the reference CRAM: the mask of low
+// address bits that must be zero for a region of the given length to be
+// exactly representable. Lengths only the full-space capability can cover
+// yield mask 0 (the sole representable base is 0).
+func RepresentableAlignmentMask(length uint64) uint64 {
+	e := computeE(length)
+	ie := e != 0 || (length>>(mantissaWidth-2))&1 != 0
+	if !ie {
+		return ^uint64(0)
+	}
+	for {
+		if e > maxExponent {
+			return 0
+		}
+		_, rtop := roundRegion(0, length, e)
+		if !fits(rtop, e) {
+			e++
+			continue
+		}
+		return ^(uint64(1)<<(e+ieFieldWidth) - 1)
+	}
+}
+
+// RepresentableLength is the reference CRRL: the smallest representable
+// length >= the request at a CRAM-aligned base, saturated to the maximum
+// uint64 when the true value is 2^64 (the full-space region).
+func RepresentableLength(length uint64) uint64 {
+	mask := RepresentableAlignmentMask(length)
+	if mask == ^uint64(0) {
+		return length
+	}
+	if mask == 0 {
+		return ^uint64(0)
+	}
+	_, rtop := roundRegion(0, length, uint(bits.TrailingZeros64(mask))-ieFieldWidth)
+	if rtop.Cmp(two64) >= 0 {
+		return ^uint64(0)
+	}
+	return rtop.Uint64()
+}

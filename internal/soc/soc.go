@@ -18,6 +18,11 @@ import (
 type CoreSpec struct {
 	Config core.Config
 	Body   func(*core.Machine)
+	// Setup, when set, runs on the freshly built machine after the shared
+	// LLC is attached and before the core executes anything (the lockstep
+	// checker hooks in here). It must not install a quantum hook — the
+	// scheduler owns that.
+	Setup func(*core.Machine)
 }
 
 // Result holds one core's finished machine (counters finalized) and the
@@ -79,6 +84,9 @@ func RunObserved(specs []CoreSpec, hub *telemetry.Hub) []Result {
 		states[i] = st
 		m := core.NewMachine(spec.Config)
 		m.ShareLLC(sharedLLC, i)
+		if spec.Setup != nil {
+			spec.Setup(m)
+		}
 		m.SetQuantum(QuantumUops, func() {
 			st.yield <- false
 			<-st.resume

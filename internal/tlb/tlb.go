@@ -4,6 +4,8 @@
 // DTLB_WALK PMU events the paper analyses in §4.7.
 package tlb
 
+import "fmt"
+
 // Config describes one TLB level.
 type Config struct {
 	Name    string
@@ -35,6 +37,29 @@ type Stats struct {
 	Misses   uint64 // L1 misses (refills from L2 or walker)
 }
 
+// Shadow observes every state-changing TLB operation after it completes.
+// internal/check installs a lockstep reference model behind it; a nil
+// shadow costs one pointer test per operation and nothing else. Shadows
+// must not touch the TLB they are attached to beyond the read-only
+// snapshot/stats accessors.
+type Shadow interface {
+	// Lookup reports one completed lookup (memo fast path included) and
+	// whether it hit this level.
+	Lookup(vpn uint64, hit bool)
+	// Insert reports one completed translation install.
+	Insert(vpn uint64)
+	// InvalidateAll reports a completed flush.
+	InvalidateAll()
+}
+
+// EntryState is a read-only snapshot of one TLB entry, exposed for the
+// lockstep checker's state comparison.
+type EntryState struct {
+	VPN   uint64
+	Valid bool
+	LRU   uint64
+}
+
 // TLB is one translation-cache level, fully associative with LRU
 // replacement (adequate at these sizes and matches N1 behaviour closely).
 // A map index keeps lookups O(1); the LRU victim scan runs only on
@@ -54,6 +79,7 @@ type TLB struct {
 	seq      uint64
 	lastVPN  uint64
 	lastSlot int // -1 when the memo is empty
+	shadow   Shadow
 	Stats    Stats
 }
 
@@ -82,6 +108,9 @@ func (t *TLB) fastHit(vpn uint64) bool {
 	t.Stats.Accesses++
 	t.seq++
 	e.lru = t.seq
+	if t.shadow != nil {
+		t.shadow.Lookup(vpn, true)
+	}
 	return true
 }
 
@@ -96,16 +125,35 @@ func (t *TLB) Lookup(addr uint64) bool {
 	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
 		t.entries[i].lru = t.seq
 		t.lastVPN, t.lastSlot = vpn, i
+		if t.shadow != nil {
+			t.shadow.Lookup(vpn, true)
+		}
 		return true
 	}
 	t.Stats.Misses++
+	if t.shadow != nil {
+		t.shadow.Lookup(vpn, false)
+	}
 	return false
 }
 
-// Insert installs a translation for addr's page.
+// Insert installs a translation for addr's page. Inserting a page that is
+// already resident refreshes its entry in place (LRU touch), keeping the
+// map index and the entry array consistent: allocating a second slot for
+// the same VPN would leave two valid entries for one page, and evicting
+// the stale one later would delete the index key the live entry depends
+// on, turning every subsequent lookup of that page into a spurious miss.
 func (t *TLB) Insert(addr uint64) {
 	vpn := addr >> t.cfg.PageLog
 	t.seq++
+	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
+		t.entries[i].lru = t.seq
+		t.lastVPN, t.lastSlot = vpn, i
+		if t.shadow != nil {
+			t.shadow.Insert(vpn)
+		}
+		return
+	}
 	victim := 0
 	for i := range t.entries {
 		e := &t.entries[i]
@@ -123,6 +171,9 @@ func (t *TLB) Insert(addr uint64) {
 	t.entries[victim] = entry{vpn: vpn, valid: true, lru: t.seq}
 	t.index[vpn] = victim
 	t.lastVPN, t.lastSlot = vpn, victim
+	if t.shadow != nil {
+		t.shadow.Insert(vpn)
+	}
 }
 
 // InvalidateAll flushes the TLB.
@@ -132,6 +183,65 @@ func (t *TLB) InvalidateAll() {
 	}
 	t.index = make(map[uint64]int, t.cfg.Entries)
 	t.lastSlot = -1
+	if t.shadow != nil {
+		t.shadow.InvalidateAll()
+	}
+}
+
+// SetShadow installs (or, with nil, removes) the TLB's lockstep observer
+// and returns the previous one.
+func (t *TLB) SetShadow(s Shadow) Shadow {
+	prev := t.shadow
+	t.shadow = s
+	return prev
+}
+
+// Shadowed reports whether a lockstep observer is installed.
+func (t *TLB) Shadowed() bool { return t.shadow != nil }
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// AppendEntryState appends a snapshot of every entry to dst and returns it,
+// for the lockstep checker's state comparison.
+func (t *TLB) AppendEntryState(dst []EntryState) []EntryState {
+	for i := range t.entries {
+		e := &t.entries[i]
+		dst = append(dst, EntryState{VPN: e.vpn, Valid: e.valid, LRU: e.lru})
+	}
+	return dst
+}
+
+// CheckInvariants verifies the internal consistency the fast paths rely
+// on: every valid entry is indexed at its own slot, every index key points
+// at a valid entry holding that VPN, and no VPN occupies two slots. It
+// exists for tests and the lockstep checker; the zero-allocation hot paths
+// never call it.
+func (t *TLB) CheckInvariants() error {
+	seen := make(map[uint64]int, len(t.entries))
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		if j, dup := seen[e.vpn]; dup {
+			return fmt.Errorf("tlb %s: vpn %#x valid in slots %d and %d", t.cfg.Name, e.vpn, j, i)
+		}
+		seen[e.vpn] = i
+		j, ok := t.index[e.vpn]
+		if !ok {
+			return fmt.Errorf("tlb %s: valid vpn %#x in slot %d missing from index", t.cfg.Name, e.vpn, i)
+		}
+		if j != i {
+			return fmt.Errorf("tlb %s: vpn %#x valid in slot %d but indexed at %d", t.cfg.Name, e.vpn, i, j)
+		}
+	}
+	for vpn, i := range t.index {
+		if i < 0 || i >= len(t.entries) || !t.entries[i].valid || t.entries[i].vpn != vpn {
+			return fmt.Errorf("tlb %s: index maps vpn %#x to stale slot %d", t.cfg.Name, vpn, i)
+		}
+	}
+	return nil
 }
 
 // Hierarchy bundles an L1 TLB with the shared L2 TLB and the walker, and

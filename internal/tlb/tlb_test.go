@@ -240,3 +240,49 @@ func TestMemoInvalidation(t *testing.T) {
 		t.Fatal("memo fast hit for an evicted page")
 	}
 }
+
+// TestInsertDuplicateVPN reproduces the index-corruption bug: inserting a
+// page that is already resident must refresh the existing entry, not
+// allocate a second slot. With the double entry, the later eviction of the
+// stale copy deleted the live entry's index key, turning every subsequent
+// lookup of that page into a spurious miss.
+func TestInsertDuplicateVPN(t *testing.T) {
+	tb := New(Config{Name: "dup", Entries: 4, PageLog: 12})
+	tb.Insert(7 << 12)
+	tb.Insert(7 << 12) // same page again: refresh in place
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Three more distinct pages: exactly fills the 4-entry TLB, so nothing
+	// is evicted — unless the duplicate ate a slot.
+	for p := uint64(8); p <= 10; p++ {
+		tb.Insert(p << 12)
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []uint64{7, 8, 9, 10} {
+		if !tb.Lookup(p << 12) {
+			t.Fatalf("page %d missed after duplicate insert", p)
+		}
+	}
+	if tb.Stats.Misses != 0 {
+		t.Fatalf("spurious misses: %+v", tb.Stats)
+	}
+}
+
+// TestInsertDuplicateTouchesLRU checks the refresh path really refreshes:
+// after re-inserting the oldest page, it must no longer be the victim.
+func TestInsertDuplicateTouchesLRU(t *testing.T) {
+	tb := New(Config{Name: "dup-lru", Entries: 2, PageLog: 12})
+	tb.Insert(1 << 12)
+	tb.Insert(2 << 12)
+	tb.Insert(1 << 12) // refresh: page 2 becomes LRU
+	tb.Insert(3 << 12) // must evict page 2
+	if !tb.Lookup(1 << 12) {
+		t.Fatal("refreshed page evicted")
+	}
+	if tb.Lookup(2 << 12) {
+		t.Fatal("LRU page survived")
+	}
+}
