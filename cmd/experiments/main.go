@@ -22,6 +22,14 @@
 //	experiments -all -jobs 4 -http :8080        # /metrics /spans /healthz /debug/pprof
 //	experiments -all -log-level info -log-json  # structured slog on stderr
 //
+// The persistent result store turns re-runs into campaign resumes, and the
+// golden baseline turns "no figure moved" into an enforced gate:
+//
+//	experiments -all -store .cherisim-store     # cold: simulate + persist
+//	experiments -all -store .cherisim-store     # warm: zero simulations
+//	experiments -baseline testdata/golden-scale1.json -update-baseline
+//	experiments -baseline testdata/golden-scale1.json   # exit 1 on drift
+//
 // The (workload, ABI) measurement grid is prefetched across a worker pool
 // of -jobs simulated machines before rendering; because every run is
 // deterministic and isolated, the rendered output is byte-identical for
@@ -43,6 +51,8 @@ import (
 
 	"cherisim/internal/experiments"
 	"cherisim/internal/faultinject"
+	"cherisim/internal/golden"
+	"cherisim/internal/resultstore"
 	"cherisim/internal/telemetry"
 )
 
@@ -68,12 +78,29 @@ func main() {
 	logLevel := flag.String("log-level", "",
 		"emit structured logs on stderr at this level (debug, info, warn, error; empty = silent)")
 	logJSON := flag.Bool("log-json", false, "structured logs as JSON lines instead of text")
+	storeDir := flag.String("store", "",
+		"persistent result-store directory: serve cached runs from it and persist new ones (campaign resume)")
+	baselinePath := flag.String("baseline", "",
+		"golden baseline file: gate the campaign's metric vectors against it (non-zero exit on drift)")
+	updateBaseline := flag.Bool("update-baseline", false,
+		"regenerate the -baseline file from this campaign instead of gating against it")
 	flag.Parse()
 
 	cfg, err := sessionConfig(*jobs, *chaos, *chaosRate, *chaosSeed, *deadline, *retries)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
+	}
+	if err := baselineConfig(*baselinePath, *updateBaseline, *run); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	var store *resultstore.Store
+	if *storeDir != "" {
+		if store, err = resultstore.Open(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
 	}
 	hub, ops, err := setupTelemetry(*traceOut, *httpAddr, *logLevel, *logJSON)
 	if err != nil {
@@ -89,7 +116,13 @@ func main() {
 		cfg.apply(s)
 		s.Telemetry = hub
 		s.Check = *checkFlag
+		s.Store = store
 		return s
+	}
+	reportStore := func() {
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "experiments: store: %s\n", store.Stats())
+		}
 	}
 
 	switch {
@@ -112,6 +145,7 @@ func main() {
 		}
 		out, err := e.Run(s)
 		teardownTelemetry(s, hub, ops, *traceOut)
+		reportStore()
 		code := reportCheck(s, os.Stderr)
 		if err != nil {
 			fatal(err)
@@ -125,7 +159,26 @@ func main() {
 		// summarise the rest, and reflect failures in the exit code.
 		s := newSession()
 		code := runCampaign(s, os.Stdout, os.Stderr)
+		if *baselinePath != "" {
+			if c := gateBaseline(s, hub, *baselinePath, *updateBaseline, os.Stderr); c != 0 {
+				code = c
+			}
+		}
 		teardownTelemetry(s, hub, ops, *traceOut)
+		reportStore()
+		if c := reportCheck(s, os.Stderr); c != 0 {
+			code = c
+		}
+		if code != 0 {
+			os.Exit(code)
+		}
+	case *baselinePath != "":
+		// Standalone gate (or capture): run the measurement grid, compare
+		// (or write) the golden baseline — the CI regression check.
+		s := newSession()
+		code := gateBaseline(s, hub, *baselinePath, *updateBaseline, os.Stderr)
+		teardownTelemetry(s, hub, ops, *traceOut)
+		reportStore()
 		if c := reportCheck(s, os.Stderr); c != 0 {
 			code = c
 		}
@@ -136,6 +189,63 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// baselineConfig validates the golden-gate flag combinations before any
+// work runs: the updater needs a file to write, and the gate compares the
+// full measurement grid, which a single -run does not populate.
+func baselineConfig(baseline string, update bool, run string) error {
+	if update && baseline == "" {
+		return fmt.Errorf("-update-baseline requires -baseline FILE")
+	}
+	if baseline != "" && run != "" {
+		return fmt.Errorf("-baseline gates the full measurement grid; it cannot be combined with -run (use -all or -baseline alone)")
+	}
+	return nil
+}
+
+// gateBaseline runs the golden-baseline regression gate against s (or,
+// with update set, recaptures the baseline file). Returns the exit-code
+// contribution: 1 when any metric drifted out of tolerance, 0 otherwise.
+func gateBaseline(s *experiments.Session, hub *telemetry.Hub, path string, update bool, stderr io.Writer) int {
+	snap := s.MetricSnapshot()
+	if update {
+		b := golden.New(resultstore.ModelFingerprint(), s.Scale, snap)
+		if err := b.Write(path); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "experiments: baseline: wrote %d pairs to %s (model %s)\n",
+			len(snap), path, resultstore.ModelFingerprint())
+		return 0
+	}
+	b, err := golden.Load(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+	if b.Scale != s.Scale {
+		fmt.Fprintf(stderr, "experiments: baseline: %s was captured at -scale %d, this campaign runs -scale %d; refusing to compare\n",
+			path, b.Scale, s.Scale)
+		return 1
+	}
+	if b.Model != resultstore.ModelFingerprint() {
+		fmt.Fprintf(stderr, "experiments: baseline: warning: %s was captured under model %s, this simulator is %s; drifts below may reflect the model change (regenerate with -update-baseline)\n",
+			path, b.Model, resultstore.ModelFingerprint())
+	}
+	drifts := b.Diff(snap)
+	if hub.Enabled() {
+		hub.Metrics.Counter("golden_drift").Add(int64(len(drifts)))
+	}
+	if len(drifts) == 0 {
+		fmt.Fprintf(stderr, "experiments: baseline: %d pairs within tolerance of %s\n", len(b.Entries), path)
+		return 0
+	}
+	fmt.Fprintf(stderr, "experiments: baseline: %d drifts from %s:\n", len(drifts), path)
+	for _, d := range drifts {
+		fmt.Fprintf(stderr, "  %s\n", d)
+	}
+	return 1
 }
 
 // reportCheck summarizes the session's lockstep checker results on w and

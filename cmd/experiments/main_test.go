@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"cherisim/internal/experiments"
+	"cherisim/internal/golden"
+	"cherisim/internal/resultstore"
 )
 
 // TestSessionConfigValidation pins the flag-validation contract: negative
@@ -151,4 +154,102 @@ func renderedHeaders(out string) int {
 		}
 	}
 	return n
+}
+
+// TestBaselineConfigValidation pins the golden-gate flag contract:
+// -update-baseline without a file and -baseline combined with -run are
+// rejected before any work runs.
+func TestBaselineConfigValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseline string
+		update   bool
+		run      string
+		wantErr  string
+	}{
+		{name: "update without file", update: true, wantErr: "-baseline"},
+		{name: "baseline with run", baseline: "g.json", run: "fig1", wantErr: "-run"},
+		{name: "update with run", baseline: "g.json", update: true, run: "fig1", wantErr: "-run"},
+		{name: "gate alone", baseline: "g.json"},
+		{name: "update alone", baseline: "g.json", update: true},
+		{name: "nothing", run: "fig1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := baselineConfig(tc.baseline, tc.update, tc.run)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid combination rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestGateBaselineRoundTrip drives the updater and the gate through one
+// real (stored) campaign: capture exits clean, a re-gate against the fresh
+// file passes, a tampered value drifts with exit code 1, and a scale
+// mismatch is refused.
+func TestGateBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign grid")
+	}
+	dir := t.TempDir()
+	store, err := resultstore.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newStoredSession := func() *experiments.Session {
+		s := experiments.NewSession(1)
+		s.Store = store
+		return s
+	}
+	path := filepath.Join(dir, "golden.json")
+
+	var stderr bytes.Buffer
+	if code := gateBaseline(newStoredSession(), nil, path, true, &stderr); code != 0 {
+		t.Fatalf("capture exited %d: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := gateBaseline(newStoredSession(), nil, path, false, &stderr); code != 0 {
+		t.Fatalf("clean gate exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "within tolerance") {
+		t.Errorf("clean gate did not report tolerance: %s", stderr.String())
+	}
+
+	b, err := golden.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b.Entries {
+		v["ipc"] += 1
+		break
+	}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := gateBaseline(newStoredSession(), nil, path, false, &stderr); code != 1 {
+		t.Fatalf("drifted gate exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "ipc") {
+		t.Errorf("drift report does not name the metric: %s", stderr.String())
+	}
+
+	b.Scale = 9
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := gateBaseline(newStoredSession(), nil, path, false, &stderr); code != 1 {
+		t.Fatalf("scale-mismatched gate exited %d", code)
+	}
+	if !strings.Contains(stderr.String(), "scale") {
+		t.Errorf("scale refusal not reported: %s", stderr.String())
+	}
 }

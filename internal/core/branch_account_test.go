@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/branch"
+)
+
+// TestAccountBranchConsumesStallCycles pins the fix for the dead
+// branch.Outcome.StallCycles field: accountBranch must charge exactly the
+// cycles the predictor reported, not re-derive them from the
+// Mispredict/PCCStall flags. An outcome whose StallCycles disagrees with
+// the flag-implied penalties exposes the divergence (pre-fix, the flags
+// won and StallCycles was ignored).
+func TestAccountBranchConsumesStallCycles(t *testing.T) {
+	cases := []struct {
+		name         string
+		out          branch.Outcome
+		wantBadSpec  float64
+		wantPCCStall float64
+	}{
+		{
+			name:        "stall cycles are the source of truth",
+			out:         branch.Outcome{Mispredict: true, StallCycles: 5},
+			wantBadSpec: 5, // pre-fix: the flag re-derived MispredictPenalty (11)
+		},
+		{
+			name: "pcc component split from the flagged resteer",
+			out: branch.Outcome{Mispredict: true, PCCStall: true,
+				StallCycles: branch.MispredictPenalty + branch.PCCStallPenalty},
+			wantBadSpec:  branch.MispredictPenalty,
+			wantPCCStall: branch.PCCStallPenalty,
+		},
+		{
+			name:         "pcc-only resteer",
+			out:          branch.Outcome{PCCStall: true, StallCycles: branch.PCCStallPenalty},
+			wantPCCStall: branch.PCCStallPenalty,
+		},
+		{
+			name: "pcc resteer clamped to the reported total",
+			out:  branch.Outcome{PCCStall: true, StallCycles: 7},
+			// The predictor reported fewer cycles than the nominal resteer
+			// penalty: the account must not invent the difference.
+			wantPCCStall: 7,
+		},
+		{
+			name: "no stall, no charge",
+			out:  branch.Outcome{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(abi.Purecap)
+			m.accountBranch(tc.out)
+			if m.badSpec != tc.wantBadSpec {
+				t.Errorf("badSpec = %g, want %g", m.badSpec, tc.wantBadSpec)
+			}
+			if m.pccStall != tc.wantPCCStall {
+				t.Errorf("pccStall = %g, want %g", m.pccStall, tc.wantPCCStall)
+			}
+		})
+	}
+}
+
+// TestAccountBranchMatchesResolvedOutcomes asserts the equivalence that
+// keeps rendered output byte-identical across the fix: for every outcome
+// the predictor actually produces, consuming StallCycles charges exactly
+// what the legacy flag-derived accounting charged.
+func TestAccountBranchMatchesResolvedOutcomes(t *testing.T) {
+	for _, mispredict := range []bool{false, true} {
+		for _, pccStall := range []bool{false, true} {
+			var out branch.Outcome
+			if mispredict {
+				out.Mispredict = true
+				out.StallCycles += branch.MispredictPenalty
+			}
+			if pccStall {
+				out.PCCStall = true
+				out.StallCycles += branch.PCCStallPenalty
+			}
+			m := New(abi.Purecap)
+			m.accountBranch(out)
+
+			legacyBadSpec, legacyPCC := 0.0, 0.0
+			if mispredict {
+				legacyBadSpec = float64(branch.MispredictPenalty)
+			}
+			if pccStall {
+				legacyPCC = float64(branch.PCCStallPenalty)
+			}
+			if m.badSpec != legacyBadSpec || m.pccStall != legacyPCC {
+				t.Errorf("mispredict=%v pccStall=%v: got (badSpec=%g, pccStall=%g), legacy (%g, %g)",
+					mispredict, pccStall, m.badSpec, m.pccStall, legacyBadSpec, legacyPCC)
+			}
+		}
+	}
+}

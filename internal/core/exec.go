@@ -630,13 +630,23 @@ func (m *Machine) capJumpCost() {
 	}
 }
 
+// accountBranch charges a resolved branch's cost with out.StallCycles as
+// the single source of truth for the total: the PCC-bounds resteer
+// component (when flagged) goes to the frontend pcc-stall account and the
+// remainder — the mispredict flush — to bad speculation. Re-deriving the
+// penalties from the Mispredict/PCCStall flags here would let the
+// predictor's cost model and the cycle accounting silently diverge.
 func (m *Machine) accountBranch(out branch.Outcome) {
-	if out.Mispredict {
-		m.badSpec += float64(branch.MispredictPenalty)
-	}
+	stall := float64(out.StallCycles)
 	if out.PCCStall {
-		m.pccStall += float64(branch.PCCStallPenalty)
+		pcc := float64(branch.PCCStallPenalty)
+		if pcc > stall {
+			pcc = stall
+		}
+		m.pccStall += pcc
+		stall -= pcc
 	}
+	m.badSpec += stall
 }
 
 // Alloc allocates size bytes from the simulated heap, charging the

@@ -23,6 +23,14 @@ import (
 // ClockHz is the simulated core frequency (Morello runs at 2.5 GHz).
 const ClockHz = 2.5e9
 
+// ModelVersion names the simulator's semantic revision. Bump it whenever a
+// change alters what any run measures (cost-model constants, cache/TLB
+// policies, lowering, metric formulas): the persistent result store folds
+// it into every cache key, so stale entries from an older model are never
+// served, and the golden-baseline gate reports the mismatch instead of
+// comparing incomparable numbers.
+const ModelVersion = "morello-sim/1"
+
 // Address-space layout of the simulated process.
 const (
 	TextBase  = 0x0000_0001_0000_0000

@@ -9,7 +9,6 @@ import (
 	"cherisim/internal/cap"
 	"cherisim/internal/compartment"
 	"cherisim/internal/core"
-	"cherisim/internal/metrics"
 )
 
 func init() {
@@ -90,8 +89,8 @@ func runExtCompartment(s *Session) (string, error) {
 	fmt.Fprintln(tw, "abi\tmonolithic(ms)\tcompartmentalized(ms)\toverhead\tcycles/crossing")
 	for _, a := range []abi.ABI{abi.Hybrid, abi.Benchmark, abi.Purecap} {
 		run := func(comp bool) (float64, uint64, error) {
-			m := core.NewMachine(core.DefaultConfig(a))
-			err := m.Run(func(m *core.Machine) {
+			id := fmt.Sprintf("compartment/sqlite:q=%d:r=%d:comp=%t", queries, rows, comp)
+			kr, err := s.RunKernel(id, core.DefaultConfig(a), func(m *core.Machine) {
 				if err := compartmentalizedQueries(m, queries, rows, comp); err != nil {
 					panic(err)
 				}
@@ -99,7 +98,7 @@ func runExtCompartment(s *Session) (string, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			return metrics.Compute(&m.C).Seconds, m.Cycles(), nil
+			return kr.Metrics.Seconds, kr.Cycles(), nil
 		}
 		monoS, monoC, err := run(false)
 		if err != nil {

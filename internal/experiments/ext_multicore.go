@@ -7,7 +7,6 @@ import (
 
 	"cherisim/internal/abi"
 	"cherisim/internal/core"
-	"cherisim/internal/metrics"
 	"cherisim/internal/soc"
 	"cherisim/internal/workloads"
 )
@@ -53,21 +52,19 @@ func runExtMulticore(s *Session) (string, error) {
 				specs[i] = soc.CoreSpec{
 					Config: core.DefaultConfig(a),
 					Body:   func(m *core.Machine) { w.Run(m, s.Scale) },
-					Setup:  s.MachineSetup(),
 				}
 			}
-			res := soc.RunObserved(specs, s.Telemetry)
+			res := s.CoRun("multicore/"+name+"/x4", specs)
 			var worst float64
 			var llc float64
 			for i, r := range res {
 				if r.Err != nil {
 					return "", fmt.Errorf("%s/%s core %d: %w", name, a, i, r.Err)
 				}
-				mm := metrics.Compute(&r.Machine.C)
-				if ratio := mm.Seconds / solo.Metrics.Seconds; ratio > worst {
+				if ratio := r.Metrics.Seconds / solo.Metrics.Seconds; ratio > worst {
 					worst = ratio
 				}
-				llc += mm.LLCReadMR
+				llc += r.Metrics.LLCReadMR
 			}
 			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.3fx\n",
 				name, a, solo.Metrics.LLCReadMR*100, llc/4*100, worst)

@@ -7,7 +7,6 @@ import (
 
 	"cherisim/internal/abi"
 	"cherisim/internal/core"
-	"cherisim/internal/metrics"
 	"cherisim/internal/workloads"
 )
 
@@ -48,14 +47,14 @@ func runExtRevocation(s *Session) (string, error) {
 
 		cfg := core.DefaultConfig(abi.Purecap)
 		cfg.TemporalSafety = true
-		m, err := workloads.ExecuteConfig(w, cfg, s.Scale)
+		kr, err := s.RunKernel("revocation/"+name, cfg, func(m *core.Machine) { w.Run(m, s.Scale) })
 		if err != nil {
 			return "", fmt.Errorf("%s+temporal: %w", name, err)
 		}
-		tm := metrics.Compute(&m.C)
+		tm := kr.Metrics
 
 		var scanned, revoked, reclaimed uint64
-		for _, st := range m.Revocations() {
+		for _, st := range kr.Revocations {
 			scanned += st.GranulesScanned
 			revoked += st.CapsRevoked
 			reclaimed += st.BytesReclaimed
@@ -63,7 +62,7 @@ func runExtRevocation(s *Session) (string, error) {
 		overhead := tm.Seconds/base.Metrics.Seconds - 1
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%+.1f%%\t%d\t%d\t%d\t%d\n",
 			name, base.Metrics.Seconds*1e3, tm.Seconds*1e3, overhead*100,
-			len(m.Revocations()), scanned, revoked, reclaimed>>10)
+			len(kr.Revocations), scanned, revoked, reclaimed>>10)
 	}
 	tw.Flush()
 	b.WriteString("\nDangling capabilities are invalidated before reuse: use-after-free faults\n")

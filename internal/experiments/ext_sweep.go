@@ -71,15 +71,22 @@ func runExtSweep(s *Session) (string, error) {
 	var peak float64
 	var peakNodes int
 	for _, n := range nodeCounts {
-		run := func(a abi.ABI) (float64, uint64) {
-			m := core.NewMachine(core.DefaultConfig(a))
-			if err := m.Run(chaseKernel(n, hops)); err != nil {
-				panic(err)
+		run := func(a abi.ABI) (float64, uint64, error) {
+			id := fmt.Sprintf("sweep/chase:nodes=%d:hops=%d", n, hops)
+			kr, err := s.RunKernel(id, core.DefaultConfig(a), chaseKernel(n, hops))
+			if err != nil {
+				return 0, 0, err
 			}
-			return m.Seconds(), m.Heap.Stats().BrkBytes
+			return kr.Metrics.Seconds, kr.Heap.BrkBytes, nil
 		}
-		hy, hyWS := run(abi.Hybrid)
-		pc, pcWS := run(abi.Purecap)
+		hy, hyWS, err := run(abi.Hybrid)
+		if err != nil {
+			return "", err
+		}
+		pc, pcWS, err := run(abi.Purecap)
+		if err != nil {
+			return "", err
+		}
 		ratio := pc / hy
 		if ratio > peak {
 			peak, peakNodes = ratio, n

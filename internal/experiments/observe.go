@@ -29,6 +29,8 @@ type runObserver struct {
 	runAttempts   *telemetry.Counter
 	deadlines     *telemetry.Counter
 	sfHits        *telemetry.Counter
+	storeHits     *telemetry.Counter
+	storeMisses   *telemetry.Counter
 
 	poolOccupancy *telemetry.Gauge
 	poolWorkers   *telemetry.Gauge
@@ -54,6 +56,8 @@ func newRunObserver(hub *telemetry.Hub) *runObserver {
 		runAttempts:   m.Counter("run_attempts"),
 		deadlines:     m.Counter("deadline_aborts"),
 		sfHits:        m.Counter("singleflight_hits"),
+		storeHits:     m.Counter("store_hits"),
+		storeMisses:   m.Counter("store_misses"),
 		poolOccupancy: m.Gauge("pool_occupancy"),
 		poolWorkers:   m.Gauge("pool_workers"),
 		wallMs:        m.Histogram("run_wall_ms", telemetry.ExpBuckets(0.25, 2, 18)),
@@ -75,6 +79,20 @@ func newRunObserver(hub *telemetry.Hub) *runObserver {
 func (o *runObserver) sfHit() {
 	if o != nil {
 		o.sfHits.Inc()
+	}
+}
+
+// storeHit counts a run served from the persistent result store.
+func (o *runObserver) storeHit() {
+	if o != nil {
+		o.storeHits.Inc()
+	}
+}
+
+// storeMiss counts a store lookup that fell through to simulation.
+func (o *runObserver) storeMiss() {
+	if o != nil {
+		o.storeMisses.Inc()
 	}
 }
 

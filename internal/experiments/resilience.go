@@ -100,6 +100,7 @@ func runResilience(s *Session) (string, error) {
 			sub.Configure = s.Configure
 			sub.DeadlineUops = s.DeadlineUops
 			sub.Retries = retries
+			sub.Store = s.Store // chaos schedule is part of the store key
 			sub.shareTelemetryWith(s)
 			if rate > 0 {
 				sub.Chaos = &faultinject.Config{Seed: seed, RatePerMUops: rate, Kinds: kinds}

@@ -17,6 +17,7 @@ import (
 	"cherisim/internal/faultinject"
 	"cherisim/internal/metrics"
 	"cherisim/internal/pmu"
+	"cherisim/internal/resultstore"
 	"cherisim/internal/telemetry"
 	"cherisim/internal/topdown"
 	"cherisim/internal/workloads"
@@ -39,6 +40,10 @@ type RunData struct {
 	// Injected lists the fault injections performed during the final
 	// attempt (nil when the session runs without chaos).
 	Injected []faultinject.Event
+	// hasMachine records whether a machine produced Counters/Heap/Uops (a
+	// panic before machine construction leaves them zero without one); the
+	// result store needs the distinction to round-trip failed runs.
+	hasMachine bool
 }
 
 // Pair names one (workload, ABI) measurement of the campaign grid.
@@ -109,6 +114,13 @@ type Session struct {
 	// and reported via CheckReport, and counted on the check_divergences
 	// telemetry counter. Set it before the first Run/Prefetch call.
 	Check bool
+
+	// Store, when non-nil, is the persistent result cache: Run consults it
+	// before simulating (unless Check is set — checked runs must execute)
+	// and persists every finished result, so a warm campaign resumes from
+	// disk. The nil store is inert. Set it before the first Run/Prefetch
+	// call. See internal/resultstore.
+	Store *resultstore.Store
 
 	// Telemetry, when non-nil, receives spans, metrics and logs for every
 	// supervised run: a campaign-root span with per-worker run/attempt
@@ -266,6 +278,18 @@ func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 	obs := s.obs // built by pool() when telemetry is on
 	s.mu.Unlock()
 
+	// Persistent-store lookup, before a worker slot is taken: a served
+	// entry costs one file read, no simulation and no pool contention.
+	var sk resultstore.Key
+	if s.Store != nil {
+		sk = s.runStoreKey(w, a)
+		if d, ok := s.loadRun(sk, obs); ok {
+			c.data = d
+			close(c.done)
+			return c.data
+		}
+	}
+
 	worker := <-sem // acquire a worker-pool slot (and its identity)
 	var t0 time.Time
 	if obs != nil {
@@ -276,6 +300,7 @@ func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 	if obs != nil {
 		obs.runEnd(span, c.data, time.Since(t0))
 	}
+	s.saveRun(sk, c.data)
 	sem <- worker
 	close(c.done)
 	return c.data
@@ -354,6 +379,7 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 		d.Topdown = topdown.Analyze(&m.C)
 		d.Heap = m.Heap.Stats()
 		d.Uops = m.Uops()
+		d.hasMachine = true
 	}
 	return d
 }

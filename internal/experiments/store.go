@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/alloc"
+	"cherisim/internal/core"
+	"cherisim/internal/metrics"
+	"cherisim/internal/pmu"
+	"cherisim/internal/report"
+	"cherisim/internal/resultstore"
+	"cherisim/internal/soc"
+	"cherisim/internal/topdown"
+	"cherisim/internal/workloads"
+)
+
+// This file wires the persistent result store (internal/resultstore)
+// through the session engine: Run consults it before simulating and
+// persists after, custom-machine kernels and soc co-runs get the same
+// treatment through RunKernel and CoRun, and MetricSnapshot feeds the
+// golden-baseline gate. The lockstep checker (-check) deliberately
+// bypasses store lookups — its purpose is re-executing under shadow
+// models, which a served entry would skip — while fresh results are still
+// persisted for later unchecked campaigns.
+
+// storeEnabled reports whether lookups may be served from the store.
+func (s *Session) storeEnabled() bool { return s.Store != nil && !s.Check }
+
+// effectiveConfig is the machine configuration a session run under ABI a
+// actually uses (DefaultConfig shaped by the session's Configure hook).
+func (s *Session) effectiveConfig(a abi.ABI) core.Config {
+	cfg := core.DefaultConfig(a)
+	if s.Configure != nil {
+		s.Configure(&cfg)
+	}
+	return cfg
+}
+
+// supervisorFingerprint canonically encodes the session supervision that
+// shapes run outcomes: the chaos schedule, the watchdog budget and the
+// retry bound. An unsupervised session encodes to "".
+func (s *Session) supervisorFingerprint() string {
+	if s.Chaos == nil && s.DeadlineUops == 0 {
+		return ""
+	}
+	var b strings.Builder
+	if c := s.Chaos; c != nil {
+		kinds := make([]string, len(c.Kinds))
+		for i, k := range c.Kinds {
+			kinds[i] = k.String()
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(&b, "chaos=%d:%g:%d:%s", c.Seed, c.RatePerMUops, c.Quantum, strings.Join(kinds, ","))
+	}
+	fmt.Fprintf(&b, "|deadline=%d|retries=%d", s.DeadlineUops, s.Retries)
+	return b.String()
+}
+
+// runStoreKey addresses one (workload, ABI) run of this session.
+func (s *Session) runStoreKey(w *workloads.Workload, a abi.ABI) resultstore.Key {
+	return resultstore.Key{
+		Kind:       resultstore.KindRun,
+		Name:       w.Name,
+		ABI:        a.String(),
+		Scale:      s.Scale,
+		Config:     resultstore.ConfigFingerprint(s.effectiveConfig(a)),
+		Supervisor: s.supervisorFingerprint(),
+		Model:      resultstore.ModelFingerprint(),
+	}
+}
+
+// loadRun serves a run from the store; (nil, false) on miss, corruption or
+// when lookups are disabled. Hit/miss telemetry rides the observer.
+func (s *Session) loadRun(key resultstore.Key, obs *runObserver) (*RunData, bool) {
+	if !s.storeEnabled() {
+		return nil, false
+	}
+	e, ok := s.Store.Load(key)
+	if !ok {
+		obs.storeMiss()
+		return nil, false
+	}
+	obs.storeHit()
+	return runDataFromEntry(e), true
+}
+
+// saveRun persists a finished run. Persistence is best-effort: a full disk
+// must degrade the store to a cache miss on the next campaign, never fail
+// the measurement that just completed.
+func (s *Session) saveRun(key resultstore.Key, d *RunData) {
+	if s.Store == nil {
+		return
+	}
+	e := &resultstore.Entry{Key: key, Attempts: d.Attempts, Injected: d.Injected}
+	fillCoreResult(&e.CoreResult, &d.Counters, d.Heap, d.Uops, d.Err, d.hasMachine, nil)
+	_ = s.Store.Save(e)
+}
+
+// fillCoreResult populates one stored machine outcome.
+func fillCoreResult(r *resultstore.CoreResult, c *pmu.Counters, heap alloc.Stats,
+	uops uint64, err error, machine bool, revs []core.RevocationStats) {
+	if machine {
+		r.SetCounters(c)
+		r.Heap = heap
+		r.Uops = uops
+		r.Revocations = revs
+	}
+	r.Error = resultstore.EncodeError(err)
+}
+
+// runDataFromEntry rebuilds a RunData, recomputing the derived metrics
+// from the stored counters so a served result can never disagree with the
+// current formulas (a formula change bumps the model fingerprint anyway).
+func runDataFromEntry(e *resultstore.Entry) *RunData {
+	d := &RunData{
+		Attempts: e.Attempts,
+		Injected: e.Injected,
+		Err:      e.Error.Reconstruct(),
+	}
+	if c, ok := e.CountersFile(); ok {
+		d.Counters = c
+		d.Metrics = metrics.Compute(&c)
+		d.Topdown = topdown.Analyze(&c)
+		d.Heap = e.Heap
+		d.Uops = e.Uops
+		d.hasMachine = true
+	}
+	return d
+}
+
+// KernelResult is the retained outcome of one custom-machine kernel run —
+// what the sweep/compartment/revocation experiments consume from the
+// machines they used to build by hand.
+type KernelResult struct {
+	Counters    pmu.Counters
+	Metrics     metrics.Metrics
+	Heap        alloc.Stats
+	Uops        uint64
+	Revocations []core.RevocationStats
+}
+
+// RunKernel executes body on a fresh machine under cfg, riding the
+// session's result store: id must uniquely name the kernel including every
+// parameter that shapes its behaviour (the key also folds in cfg, the
+// session scale and the model fingerprint). Failed kernel runs are
+// returned as errors and never stored — they abort their experiment, so
+// there is no render path that needs a cached failure.
+func (s *Session) RunKernel(id string, cfg core.Config, body func(*core.Machine)) (*KernelResult, error) {
+	key := resultstore.Key{
+		Kind:   resultstore.KindKernel,
+		Name:   id,
+		Scale:  s.Scale,
+		Config: resultstore.ConfigFingerprint(cfg),
+		Model:  resultstore.ModelFingerprint(),
+	}
+	obs := s.campaignObserver()
+	if s.storeEnabled() {
+		if e, ok := s.Store.Load(key); ok {
+			obs.storeHit()
+			return kernelFromEntry(e), nil
+		}
+		obs.storeMiss()
+	}
+
+	m := core.NewMachine(cfg)
+	if setup := s.MachineSetup(); setup != nil {
+		setup(m)
+	}
+	if err := m.Run(body); err != nil {
+		return nil, err
+	}
+	e := &resultstore.Entry{Key: key}
+	fillCoreResult(&e.CoreResult, &m.C, m.Heap.Stats(), m.Uops(), nil, true, m.Revocations())
+	if s.Store != nil {
+		_ = s.Store.Save(e)
+	}
+	return kernelFromEntry(e), nil
+}
+
+// Cycles returns the kernel's executed cycle count.
+func (r *KernelResult) Cycles() uint64 { return r.Counters.Get(pmu.CPU_CYCLES) }
+
+// kernelFromEntry rebuilds a KernelResult from its stored form.
+func kernelFromEntry(e *resultstore.Entry) *KernelResult {
+	r := &KernelResult{Heap: e.Heap, Uops: e.Uops, Revocations: e.Revocations}
+	if c, ok := e.CountersFile(); ok {
+		r.Counters = c
+		r.Metrics = metrics.Compute(&c)
+	}
+	return r
+}
+
+// CoRunCore is one core's outcome of a stored co-run.
+type CoRunCore struct {
+	Counters pmu.Counters
+	Metrics  metrics.Metrics
+	Heap     alloc.Stats
+	Uops     uint64
+	Err      error
+}
+
+// CoRun executes a shared-LLC co-run through the session's result store,
+// persisting the whole co-run as one unit (per-core results are only
+// meaningful together — they shaped each other through the shared cache).
+// id must uniquely name the co-run including its workload/parameter mix;
+// the key also folds in every core's configuration, in order. Like Run,
+// co-runs with failed cores are stored too: the unit is deterministic, so
+// a warm campaign reproduces the same per-core errors without simulating.
+func (s *Session) CoRun(id string, specs []soc.CoreSpec) []CoRunCore {
+	cfgs := make([]string, len(specs))
+	for i := range specs {
+		cfgs[i] = resultstore.ConfigFingerprint(specs[i].Config)
+	}
+	key := resultstore.Key{
+		Kind:   resultstore.KindCoRun,
+		Name:   id,
+		Scale:  s.Scale,
+		Config: strings.Join(cfgs, "+"),
+		Model:  resultstore.ModelFingerprint(),
+	}
+	obs := s.campaignObserver()
+	if s.storeEnabled() {
+		if e, ok := s.Store.Load(key); ok && len(e.Cores) == len(specs) {
+			obs.storeHit()
+			return coRunFromEntry(e)
+		}
+		obs.storeMiss()
+	}
+
+	if setup := s.MachineSetup(); setup != nil {
+		for i := range specs {
+			inner := specs[i].Setup
+			specs[i].Setup = func(m *core.Machine) {
+				setup(m)
+				if inner != nil {
+					inner(m)
+				}
+			}
+		}
+	}
+	res := soc.RunObserved(specs, s.Telemetry)
+	e := &resultstore.Entry{Key: key, Cores: make([]resultstore.CoreResult, len(res))}
+	for i, r := range res {
+		machine := r.Machine != nil
+		var c *pmu.Counters
+		var heap alloc.Stats
+		var uops uint64
+		if machine {
+			c = &r.Machine.C
+			heap = r.Machine.Heap.Stats()
+			uops = r.Machine.Uops()
+		} else {
+			c = &pmu.Counters{}
+		}
+		fillCoreResult(&e.Cores[i], c, heap, uops, r.Err, machine, nil)
+	}
+	if s.Store != nil {
+		_ = s.Store.Save(e)
+	}
+	return coRunFromEntry(e)
+}
+
+// coRunFromEntry rebuilds the per-core results of a stored co-run.
+func coRunFromEntry(e *resultstore.Entry) []CoRunCore {
+	out := make([]CoRunCore, len(e.Cores))
+	for i := range e.Cores {
+		cr := &e.Cores[i]
+		out[i].Err = cr.Error.Reconstruct()
+		out[i].Heap = cr.Heap
+		out[i].Uops = cr.Uops
+		if c, ok := cr.CountersFile(); ok {
+			out[i].Counters = c
+			out[i].Metrics = metrics.Compute(&c)
+		}
+	}
+	return out
+}
+
+// StoreStats returns the session store's traffic counters (zero without a
+// store).
+func (s *Session) StoreStats() resultstore.Stats { return s.Store.Stats() }
+
+// MetricSnapshot runs the full campaign grid and returns the
+// per-(workload, ABI) derived-metric vectors — the golden-baseline gate's
+// input. Failed pairs are omitted; they surface through the baseline diff
+// as missing pairs.
+func (s *Session) MetricSnapshot() map[string]map[string]float64 {
+	s.RunAll()
+	out := make(map[string]map[string]float64)
+	for _, p := range CampaignGrid() {
+		d := s.Run(p.Workload, p.ABI)
+		if d.Err != nil {
+			continue
+		}
+		out[p.Workload.Name+"/"+p.ABI.String()] = report.MetricVector(&d.Metrics, &d.Topdown)
+	}
+	return out
+}

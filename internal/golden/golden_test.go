@@ -1,0 +1,155 @@
+package golden
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestToleranceAllows(t *testing.T) {
+	cases := []struct {
+		tol       Tolerance
+		want, got float64
+		allowed   bool
+	}{
+		{Tolerance{}, 1.5, 1.5, true},                   // zero tolerance = bit equality
+		{Tolerance{}, 1.5, 1.5000001, false},            // any drift fails exact
+		{Tolerance{Abs: 0.01}, 1.5, 1.509, true},        // within abs
+		{Tolerance{Abs: 0.01}, 1.5, 1.52, false},        // outside abs
+		{Tolerance{Rel: 0.1}, 100, 109, true},           // within 10% rel
+		{Tolerance{Rel: 0.1}, 100, 111, false},          // outside rel
+		{Tolerance{Abs: 1, Rel: 0.1}, 100, 110.5, true}, // abs+rel compose
+		{Tolerance{Rel: 0.1}, -100, -109, true},         // rel uses |want|
+		{Tolerance{}, 0, 0, true},
+		{Tolerance{}, math.NaN(), math.NaN(), true}, // both NaN passes
+		{Tolerance{Abs: 1e9}, math.NaN(), 1, false}, // NaN vs number never
+		{Tolerance{Abs: 1e9}, 1, math.NaN(), false},
+	}
+	for _, tc := range cases {
+		if got := tc.tol.Allows(tc.want, tc.got); got != tc.allowed {
+			t.Errorf("Tolerance%+v.Allows(%v, %v) = %v, want %v",
+				tc.tol, tc.want, tc.got, got, tc.allowed)
+		}
+	}
+}
+
+func sampleBaseline() *Baseline {
+	b := New("model-x", 1, map[string]map[string]float64{
+		"alpha/hybrid":  {"ipc": 1.5, "mr": 0.02},
+		"alpha/purecap": {"ipc": 1.2, "mr": 0.03},
+	})
+	return b
+}
+
+func TestDiffClean(t *testing.T) {
+	b := sampleBaseline()
+	got := map[string]map[string]float64{
+		"alpha/hybrid":  {"ipc": 1.5, "mr": 0.02},
+		"alpha/purecap": {"ipc": 1.2, "mr": 0.03},
+	}
+	if drifts := b.Diff(got); len(drifts) != 0 {
+		t.Errorf("clean diff reported drifts: %v", drifts)
+	}
+}
+
+// TestDiffKinds exercises every drift class in one comparison and pins the
+// deterministic (pair, metric) report order.
+func TestDiffKinds(t *testing.T) {
+	b := sampleBaseline()
+	got := map[string]map[string]float64{
+		"alpha/hybrid": {"ipc": 9.9}, // ipc drifted, mr missing
+		// alpha/purecap missing entirely
+		"beta/hybrid": {"ipc": 1.0}, // not in baseline
+	}
+	drifts := b.Diff(got)
+	kinds := make([]string, len(drifts))
+	for i, d := range drifts {
+		kinds[i] = d.Kind + ":" + d.Pair + ":" + d.Metric
+	}
+	want := []string{
+		"value:alpha/hybrid:ipc",
+		"missing-metric:alpha/hybrid:mr",
+		"missing-pair:alpha/purecap:",
+		"extra-pair:beta/hybrid:",
+	}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("drifts = %v, want %v", kinds, want)
+	}
+	// Determinism: a second diff reports the identical sequence.
+	again := b.Diff(got)
+	if !reflect.DeepEqual(drifts, again) {
+		t.Error("diff order is not deterministic")
+	}
+	for _, d := range drifts {
+		if d.String() == "" {
+			t.Errorf("empty rendering for %+v", d)
+		}
+	}
+}
+
+func TestToleranceOverrides(t *testing.T) {
+	b := sampleBaseline()
+	b.Default = Tolerance{}
+	b.Metrics = map[string]Tolerance{"ipc": {Rel: 0.5}}
+	got := map[string]map[string]float64{
+		"alpha/hybrid":  {"ipc": 1.9, "mr": 0.02},  // ipc within 50% override
+		"alpha/purecap": {"ipc": 1.2, "mr": 0.031}, // mr fails exact default
+	}
+	drifts := b.Diff(got)
+	if len(drifts) != 1 || drifts[0].Pair != "alpha/purecap" || drifts[0].Metric != "mr" {
+		t.Errorf("drifts = %v", drifts)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "golden.json")
+	b := sampleBaseline()
+	b.Default = Tolerance{Abs: 1e-9}
+	b.Metrics = map[string]Tolerance{"ipc": {Rel: 0.01}}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Errorf("round-trip drifted:\n%+v\n%+v", b, got)
+	}
+	// Deterministic bytes: rewriting the same baseline is a no-op diff.
+	path2 := filepath.Join(dir, "again.json")
+	if err := got.Write(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Error("regenerated baseline bytes differ")
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	os.WriteFile(wrong, []byte(`{"format":"other/1","entries":{"a":{"m":1}}}`), 0o644)
+	if _, err := Load(wrong); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("wrong format accepted: %v", err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"format":"`+Format+`","entries":{}}`), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}

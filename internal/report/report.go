@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"cherisim/internal/abi"
 	"cherisim/internal/metrics"
@@ -105,6 +106,27 @@ var csvMetricColumns = []struct {
 	{"core_bound", func(_ *metrics.Metrics, t *topdown.Breakdown) float64 { return t.CoreBound }},
 }
 
+// MetricNames returns the derived-metric column names of the CSV export in
+// their stable order — the same vector the golden-baseline gate compares.
+func MetricNames() []string {
+	out := make([]string, len(csvMetricColumns))
+	for i, c := range csvMetricColumns {
+		out[i] = c.name
+	}
+	return out
+}
+
+// MetricVector returns one sample's derived metrics as a name->value map,
+// using the CSV column set (the per-(workload,ABI) vector the
+// golden-baseline regression gate stores and diffs).
+func MetricVector(m *metrics.Metrics, t *topdown.Breakdown) map[string]float64 {
+	out := make(map[string]float64, len(csvMetricColumns))
+	for _, c := range csvMetricColumns {
+		out[c.name] = c.get(m, t)
+	}
+	return out
+}
+
 // WriteMetricsCSV emits one row per sample with the derived-metric columns.
 func (d *Dataset) WriteMetricsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
@@ -130,7 +152,11 @@ func (d *Dataset) WriteMetricsCSV(w io.Writer) error {
 }
 
 // WriteEventsCSV emits one row per sample with every raw PMU event as a
-// column (stable, sorted order).
+// column (stable, sorted order). An event absent from a sample's Events
+// map — e.g. a dataset decoded from a JSON written before that PMU event
+// existed — is emitted as an empty cell, never a fabricated 0, and after
+// the full CSV is written an error lists every missing event so the caller
+// can distinguish "counted zero" from "never counted".
 func (d *Dataset) WriteEventsCSV(w io.Writer) error {
 	names := make([]string, 0, int(pmu.NumEvents))
 	for _, e := range pmu.AllEvents() {
@@ -142,15 +168,37 @@ func (d *Dataset) WriteEventsCSV(w io.Writer) error {
 	if err := cw.Write(append([]string{"workload", "abi"}, names...)); err != nil {
 		return err
 	}
+	missing := map[string]int{} // event name -> samples lacking it
 	for _, s := range d.Samples {
 		row := []string{s.Workload, s.ABI}
 		for _, n := range names {
-			row = append(row, strconv.FormatUint(s.Events[n], 10))
+			v, ok := s.Events[n]
+			if !ok {
+				missing[n]++
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatUint(v, 10))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		lacking := make([]string, 0, len(missing))
+		for n := range missing {
+			lacking = append(lacking, n)
+		}
+		sort.Strings(lacking)
+		for i, n := range lacking {
+			lacking[i] = fmt.Sprintf("%s (%d samples)", n, missing[n])
+		}
+		return fmt.Errorf("report: events CSV has empty cells for events missing from the dataset: %s",
+			strings.Join(lacking, ", "))
+	}
+	return nil
 }

@@ -105,3 +105,79 @@ func TestEventsCSVCoversAllEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestEventsCSVMissingEventsRoundTrip pins the missing-event fix through
+// the JSON path: a dataset decoded from a JSON written before a PMU event
+// existed must export that event as an empty cell — never a fabricated
+// 0 — and WriteEventsCSV must return an error naming every missing event.
+func TestEventsCSVMissingEventsRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	// Simulate an old-format JSON: strip two events from the first sample
+	// before the write/read round trip, as if the dataset predated them.
+	dropped := []string{"PCC_STALL_CYCLES", "BAD_SPEC_CYCLES"}
+	for _, n := range dropped {
+		delete(d.Samples[0].Events, n)
+	}
+	var js bytes.Buffer
+	if err := d.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = got.WriteEventsCSV(&buf)
+	if err == nil {
+		t.Fatal("missing events silently exported (pre-fix behaviour emitted 0)")
+	}
+	for _, n := range dropped {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error does not name missing event %s: %v", n, err)
+		}
+	}
+
+	rows, rerr := csv.NewReader(&buf).ReadAll()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (CSV must still be written in full)", len(rows))
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, n := range dropped {
+		if cell := rows[1][col[n]]; cell != "" {
+			t.Errorf("missing event %s exported as %q, want empty cell", n, cell)
+		}
+		if cell := rows[2][col[n]]; cell == "" {
+			t.Errorf("event %s present in sample 2 but exported empty", n)
+		}
+	}
+	// A complete dataset still round-trips error-free.
+	var clean bytes.Buffer
+	if err := sampleDataset(t).WriteEventsCSV(&clean); err != nil {
+		t.Fatalf("complete dataset errored: %v", err)
+	}
+}
+
+func TestMetricVectorMatchesCSVColumns(t *testing.T) {
+	d := sampleDataset(t)
+	s := d.Samples[0]
+	v := MetricVector(&s.Metrics, &s.Topdown)
+	names := MetricNames()
+	if len(v) != len(names) {
+		t.Fatalf("vector has %d metrics, names list %d", len(v), len(names))
+	}
+	for _, n := range names {
+		if _, ok := v[n]; !ok {
+			t.Errorf("vector missing metric %s", n)
+		}
+	}
+	if v["seconds"] != s.Metrics.Seconds || v["backend_bound"] != s.Topdown.BackendBound {
+		t.Error("vector values disagree with the sample")
+	}
+}

@@ -144,11 +144,18 @@ func (m *CorrMatrix) String() string {
 	return b.String()
 }
 
+// truncate shortens s to at most n characters (runes, not bytes): slicing
+// byte offsets would cut a multi-byte UTF-8 workload label mid-sequence and
+// garble the Figure 7 matrix header.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	if len(s) <= n { // fast path: byte length bounds rune length
 		return s
 	}
-	return s[:n]
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n])
 }
 
 // Normalize divides each value by base, returning 0 where base is 0.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestMeanStdDev(t *testing.T) {
@@ -114,5 +115,51 @@ func TestNormalize(t *testing.T) {
 	}
 	if z := Normalize([]float64{1}, 0); z[0] != 0 {
 		t.Error("zero base not handled")
+	}
+}
+
+// TestTruncateRuneSafe pins the UTF-8 fix: truncating a multi-byte label
+// must cut at a rune boundary, not a byte offset (pre-fix, byte slicing
+// garbled the Figure 7 matrix header for non-ASCII workload names).
+func TestTruncateRuneSafe(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"sqlite", 6, "sqlite"},
+		{"omnetpp", 6, "omnetp"},
+		{"überbench", 6, "überbe"}, // ü is 2 bytes; byte slicing kept only 5 chars
+		{"µop-χase", 6, "µop-χa"},  // mixed multi-byte
+		{"日本語ベンチ", 3, "日本語"},       // 3-byte runes; byte slicing cut mid-rune
+		{"héllo", 5, "héllo"},      // 6 bytes, 5 runes: no truncation needed
+		{"", 4, ""},
+	}
+	for _, tc := range cases {
+		got := truncate(tc.in, tc.n)
+		if got != tc.want {
+			t.Errorf("truncate(%q, %d) = %q, want %q", tc.in, tc.n, got, tc.want)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("truncate(%q, %d) produced invalid UTF-8 %q", tc.in, tc.n, got)
+		}
+	}
+}
+
+// TestMatrixStringUTF8Labels renders a matrix with multi-byte labels and
+// asserts the header stays valid UTF-8 end to end.
+func TestMatrixStringUTF8Labels(t *testing.T) {
+	m, err := Correlate([]string{"überbench-α", "日本語ベンチマーク"}, [][]float64{
+		{1, 2, 3}, {2, 4, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	if !utf8.ValidString(s) {
+		t.Fatalf("matrix rendering contains invalid UTF-8:\n%s", s)
+	}
+	if !strings.Contains(s, "überbe") || !strings.Contains(s, "日本語") {
+		t.Errorf("truncated headers missing:\n%s", s)
 	}
 }

@@ -64,27 +64,35 @@ func Analyze(c *pmu.Counters) Breakdown {
 	return b
 }
 
+// level1Categories lists the level-1 categories in the methodology's
+// presentation order; DominantBottleneck's tie-breaking follows it.
+var level1Categories = []string{"retiring", "bad-speculation", "frontend-bound", "backend-bound"}
+
+// level1 returns the category values in level1Categories order.
+func (b Breakdown) level1() [4]float64 {
+	return [4]float64{b.Retiring, b.BadSpec, b.FrontendBound, b.BackendBound}
+}
+
 // DominantBottleneck names the level-1 category that dominates, applying
 // the methodology's drill-down rule (only descend into the largest).
+// Tie-breaking is deterministic: on an exact tie the first-listed category
+// wins (retiring, bad-speculation, frontend-bound, backend-bound; memory
+// before core in the backend drill-down).
 func (b Breakdown) DominantBottleneck() string {
-	best, name := b.Retiring, "retiring"
-	if b.BadSpec > best {
-		best, name = b.BadSpec, "bad-speculation"
-	}
-	if b.FrontendBound > best {
-		best, name = b.FrontendBound, "frontend-bound"
-	}
-	if b.BackendBound > best {
-		best, name = b.BackendBound, "backend-bound"
-	}
-	_ = best
-	if name == "backend-bound" {
-		if b.MemoryBound >= b.CoreBound {
-			return "backend-bound/memory"
+	values := b.level1()
+	best := 0
+	for i, v := range values {
+		if v > values[best] { // strict: ties keep the first-listed category
+			best = i
 		}
-		return "backend-bound/core"
 	}
-	return name
+	if name := level1Categories[best]; name != "backend-bound" {
+		return name
+	}
+	if b.MemoryBound >= b.CoreBound { // memory wins the drill-down tie
+		return "backend-bound/memory"
+	}
+	return "backend-bound/core"
 }
 
 // String renders the breakdown as an indented report in the style of the

@@ -50,6 +50,66 @@ func TestDominantBottleneck(t *testing.T) {
 	}
 }
 
+// TestDominantBottleneckTieBreak pins the deterministic tie-breaking rule:
+// on an exact tie the first-listed category wins (retiring,
+// bad-speculation, frontend-bound, backend-bound), and the backend
+// drill-down descends into memory when MemoryBound >= CoreBound.
+func TestDominantBottleneckTieBreak(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Breakdown
+		want string
+	}{
+		{
+			name: "four-way exact tie keeps the first-listed category",
+			b:    Breakdown{Retiring: 0.25, BadSpec: 0.25, FrontendBound: 0.25, BackendBound: 0.25},
+			want: "retiring",
+		},
+		{
+			name: "badspec/frontend tie keeps bad-speculation",
+			b:    Breakdown{Retiring: 0.1, BadSpec: 0.4, FrontendBound: 0.4, BackendBound: 0.1},
+			want: "bad-speculation",
+		},
+		{
+			name: "frontend/backend tie keeps frontend-bound",
+			b:    Breakdown{Retiring: 0.1, BadSpec: 0.1, FrontendBound: 0.4, BackendBound: 0.4},
+			want: "frontend-bound",
+		},
+		{
+			name: "retiring/backend tie never drills into the backend",
+			b:    Breakdown{Retiring: 0.5, BackendBound: 0.5, MemoryBound: 0.4, CoreBound: 0.1},
+			want: "retiring",
+		},
+		{
+			name: "backend strictly dominant, memory/core exact tie picks memory",
+			b:    Breakdown{Retiring: 0.2, BackendBound: 0.6, MemoryBound: 0.3, CoreBound: 0.3},
+			want: "backend-bound/memory",
+		},
+		{
+			name: "backend dominant, core strictly larger",
+			b:    Breakdown{Retiring: 0.2, BackendBound: 0.6, MemoryBound: 0.25, CoreBound: 0.35},
+			want: "backend-bound/core",
+		},
+		{
+			name: "all zero falls back to the first-listed category",
+			b:    Breakdown{},
+			want: "retiring",
+		},
+		{
+			name: "later category strictly larger wins",
+			b:    Breakdown{Retiring: 0.2, BadSpec: 0.2, FrontendBound: 0.5, BackendBound: 0.1},
+			want: "frontend-bound",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.b.DominantBottleneck(); got != tc.want {
+				t.Errorf("DominantBottleneck() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestStringRendering(t *testing.T) {
 	b := Breakdown{Retiring: 0.55, BackendBound: 0.3, MemoryBound: 0.2, CoreBound: 0.1}
 	s := b.String()
