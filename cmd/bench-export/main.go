@@ -12,6 +12,13 @@
 //
 // The experiment benchmarks share one measurement session, prefetched
 // across the worker pool first, so -full pays the campaign cost once.
+//
+// Compare mode turns the snapshot into a regression gate (the CI bench
+// job): re-measure the guarded hot-path benchmarks and fail when one
+// regressed beyond the tolerance against a committed snapshot:
+//
+//	bench-export -compare BENCH_2026-08-08.json
+//	bench-export -compare BENCH_2026-08-08.json -tolerance 0.35
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"cherisim/internal/cap"
 	"cherisim/internal/core"
 	"cherisim/internal/experiments"
+	"cherisim/internal/replay"
 	"cherisim/internal/tlb"
 	"cherisim/internal/workloads"
 )
@@ -106,7 +114,15 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
 	full := flag.Bool("full", false, "also benchmark every experiment regeneration")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width for the campaign prefetch")
+	comparePath := flag.String("compare", "",
+		"committed BENCH_*.json to gate against: re-measure the guarded benchmarks and exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.5,
+		"fractional ns/op regression allowed by -compare (0.5 = 50%; allocs/op must not grow at all)")
 	flag.Parse()
+
+	if *comparePath != "" {
+		os.Exit(compareMain(*comparePath, *tolerance))
+	}
 
 	snap := snapshot{
 		Date:       time.Now().Format("2006-01-02"),
@@ -275,7 +291,101 @@ func substrate() []bench {
 				b.Fatal(err)
 			}
 		}},
+		{"ReplayLoadStore", func(b *testing.B) {
+			// Mirror of internal/replay's BenchmarkReplayLoadStore: the
+			// record-and-replay fast path serving the MachineLoadStore
+			// access pattern, reported per store+load pair.
+			b.ReportAllocs()
+			const pairs = 1 << 16
+			rec := replay.NewRecorder()
+			m := core.New(abi.Purecap)
+			m.SetReplaySink(rec)
+			m.Func("bench", 512, 64)
+			var uops uint64
+			err := m.Run(func(m *core.Machine) {
+				p := m.Alloc(1 << 20)
+				for i := 0; i < pairs; i++ {
+					off := core.Ptr(uint64(i*64) % (1 << 20))
+					m.Store(p+off, uint64(i), 8)
+					m.Load(p+off, 8)
+				}
+				uops = m.Uops()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			t := rec.Finish(uops)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += pairs {
+				m := core.New(abi.Purecap)
+				if err := replay.Run(m, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
+}
+
+// guarded names the benchmarks the -compare gate enforces: the
+// simulator's end-to-end hot paths (live interpretation, the cached
+// session run, the replay fast path). The component micro-benchmarks are
+// exported for trend tracking but not gated — they are too small to
+// measure stably on shared CI runners.
+var guarded = []string{"MachineLoadStore", "SessionTelemetryOff", "ReplayLoadStore"}
+
+// compareMain re-measures the guarded benchmarks and gates them against
+// the committed snapshot at path: ns/op may not regress beyond tol
+// (fractional), and allocs/op may not grow at all. Returns the process
+// exit code.
+func compareMain(path string, tol float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-export:", err)
+		return 1
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-export: %s: %v\n", path, err)
+		return 1
+	}
+	baseline := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+
+	all := substrate()
+	code := 0
+	for _, name := range guarded {
+		want, ok := baseline[name]
+		if !ok {
+			fmt.Printf("%-22s not in %s; skipped\n", name, path)
+			continue
+		}
+		var fn func(*testing.B)
+		for _, b := range all {
+			if b.name == name {
+				fn = b.fn
+			}
+		}
+		if fn == nil {
+			fmt.Fprintf(os.Stderr, "bench-export: guarded benchmark %s not implemented\n", name)
+			return 1
+		}
+		got := measure(name, fn)
+		ratio := got.NsPerOp / want.NsPerOp
+		verdict := "ok"
+		if got.NsPerOp > want.NsPerOp*(1+tol) {
+			verdict = fmt.Sprintf("REGRESSION (> %+.0f%% allowed)", tol*100)
+			code = 1
+		}
+		if got.AllocsPerOp > want.AllocsPerOp {
+			verdict = fmt.Sprintf("ALLOC REGRESSION (%d -> %d allocs/op)", want.AllocsPerOp, got.AllocsPerOp)
+			code = 1
+		}
+		fmt.Printf("%-22s %10.1f ns/op vs %10.1f baseline  (%+5.1f%%)  %s\n",
+			name, got.NsPerOp, want.NsPerOp, (ratio-1)*100, verdict)
+	}
+	return code
 }
 
 func fatal(err error) {

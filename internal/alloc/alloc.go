@@ -56,6 +56,12 @@ type Heap struct {
 	// sorted is the ordered index of live allocation bases, maintained
 	// incrementally so Owner lookups are O(log n).
 	sorted []uint64
+	// ownBase/ownSize memoise the last positive Owner result. Live ranges
+	// are disjoint and an allocation cannot appear inside another live one,
+	// so the memo stays valid until a Free or Truncate shrinks the live set
+	// (both clear it); repeated lookups inside one allocation — the dominant
+	// pattern on the capability-derivation hot path — cost two compares.
+	ownBase, ownSize uint64
 
 	// Statistics.
 	allocs        uint64
@@ -146,6 +152,7 @@ func (h *Heap) Free(addr uint64) error {
 		return fmt.Errorf("alloc: invalid free of %#x", addr)
 	}
 	delete(h.live, addr)
+	h.ownBase, h.ownSize = 0, 0
 	if i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= addr }); i < len(h.sorted) && h.sorted[i] == addr {
 		h.sorted = append(h.sorted[:i], h.sorted[i+1:]...)
 	}
@@ -203,6 +210,7 @@ func (h *Heap) Truncate(base, newSize uint64) bool {
 	}
 	h.live[base] = newSize
 	h.liveBytes -= size - newSize
+	h.ownBase, h.ownSize = 0, 0
 	return true
 }
 
@@ -217,7 +225,11 @@ func (h *Heap) SizeOf(addr uint64) (uint64, bool) {
 // maintained sorted index (O(log n)). The machine uses it to derive
 // bounded capabilities for interior pointers and for spatial checks.
 func (h *Heap) Owner(addr uint64) (base, size uint64, ok bool) {
+	if addr-h.ownBase < h.ownSize {
+		return h.ownBase, h.ownSize, true
+	}
 	if s, o := h.live[addr]; o {
+		h.ownBase, h.ownSize = addr, s
 		return addr, s, true
 	}
 	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] > addr })
@@ -227,6 +239,7 @@ func (h *Heap) Owner(addr uint64) (base, size uint64, ok bool) {
 	b := h.sorted[i-1]
 	s := h.live[b]
 	if addr < b+s {
+		h.ownBase, h.ownSize = b, s
 		return b, s, true
 	}
 	return 0, 0, false

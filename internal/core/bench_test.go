@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"cherisim/internal/abi"
+)
+
+// BenchmarkFetchAdvanceLargeN guards the closed-form line-skip in
+// fetchAdvance: a large µop batch must cost per *line crossed*, not per
+// µop, so wide ALU/SIMD batches (the workloads issue tens of thousands)
+// stay off the per-µop path. A regression to the step-by-step walk shows
+// up as a ~16x slowdown here.
+func BenchmarkFetchAdvanceLargeN(b *testing.B) {
+	b.ReportAllocs()
+	m := New(abi.Purecap)
+	fn := m.Func("bench", 64<<10, 64)
+	err := m.Run(func(m *Machine) {
+		m.Call(fn, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.fetchAdvance(4096)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkALULargeN is the public-API face of the same guard: one
+// classified batch of 4096 ALU µops through uop accounting and fetch
+// advance.
+func BenchmarkALULargeN(b *testing.B) {
+	b.ReportAllocs()
+	m := New(abi.Purecap)
+	fn := m.Func("bench", 64<<10, 64)
+	err := m.Run(func(m *Machine) {
+		m.Call(fn, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ALU(4096)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStreamFactorHit guards the stream-tracker hit path: a
+// sequential access pattern follows one tracked stream (every access
+// advances the same slot), so the round-robin replacement arithmetic —
+// now a power-of-two mask — never runs. The complementary miss case is
+// BenchmarkStreamFactorMiss.
+func BenchmarkStreamFactorHit(b *testing.B) {
+	b.ReportAllocs()
+	m := New(abi.Purecap)
+	addr := uint64(0x4000_0000)
+	m.streamFactor(addr, Indep)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr += 64
+		m.streamFactor(addr, Indep)
+	}
+}
+
+// BenchmarkStreamFactorMiss drives the replacement path: each access is
+// far from every tracked stream, so a slot is reassigned via the masked
+// round-robin advance every call.
+func BenchmarkStreamFactorMiss(b *testing.B) {
+	b.ReportAllocs()
+	m := New(abi.Purecap)
+	addr := uint64(0x4000_0000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr += 1 << 20
+		m.streamFactor(addr, Indep)
+	}
+}

@@ -112,6 +112,10 @@ type Fn struct {
 	// Profiling attribution (see profile.go).
 	cycles float64
 	uops   uint64
+
+	// idx is the function's position in the machine's registration order;
+	// the replay recorder uses it as a stable cross-machine identifier.
+	idx int
 }
 
 type frame struct {
@@ -192,6 +196,18 @@ type Machine struct {
 	streams    [8]uint64
 	streamNext int
 
+	// profileOff disables per-function cycle attribution (profile.go).
+	// Attribution only feeds Profile(); callers that never read it — the
+	// experiment harness in particular — can turn it off and save a float
+	// re-estimate per µop call without changing any counter or metric.
+	profileOff bool
+
+	// rec, when non-nil, receives every top-level API event (see
+	// replay.go); recMute suppresses recording inside API calls whose
+	// internals are themselves expressed through the API.
+	rec     ReplaySink
+	recMute int
+
 	faulted *Fault
 }
 
@@ -228,9 +244,12 @@ func New(a abi.ABI) *Machine { return NewMachine(DefaultConfig(a)) }
 // Func registers a simulated function occupying codeBytes of text (scaled
 // by the ABI's code-size factor) with a frameBytes activation record.
 func (m *Machine) Func(name string, codeBytes, frameBytes uint64) *Fn {
+	if m.recOn() {
+		m.rec.FuncOp(name, codeBytes, frameBytes)
+	}
 	sz := uint64(float64(codeBytes) * m.ABI.CodeSizeFactor())
 	sz = (sz + 63) &^ 63
-	f := &Fn{Name: name, Base: m.nextCode, Size: sz, Frame: frameBytes, machine: m}
+	f := &Fn{Name: name, Base: m.nextCode, Size: sz, Frame: frameBytes, machine: m, idx: len(m.fns)}
 	if m.ABI.PointersAreCapabilities() {
 		c, err := cap.Root().SetBounds(f.Base, f.Size)
 		if err == nil {
@@ -369,6 +388,11 @@ func (m *Machine) Uops() uint64 { return m.classUops }
 
 // PC returns the current fetch program counter.
 func (m *Machine) PC() uint64 { return m.fetchPC }
+
+// DisableProfile turns off per-function cycle attribution for this machine.
+// Profile() will return an empty profile; nothing else observable changes.
+// Use it on machines whose profile is never read (measurement campaigns).
+func (m *Machine) DisableProfile() { m.profileOff = true }
 
 // DropOwnerCache invalidates the machine's cached owning-allocation range.
 // The fault injector must call it after mutating heap-allocation metadata

@@ -1,0 +1,113 @@
+package core
+
+// Record-and-replay support (the trace-memoization fast path of
+// internal/replay): a Machine can mirror every top-level API call a
+// workload kernel makes into a ReplaySink, producing a flat event stream
+// that is a pure function of (workload, ABI, scale, heap-shaping
+// configuration). Kernel closures never read timing state, so the same
+// stream can later be replayed onto a fresh machine — including one with
+// a different *timing* configuration (predictor, cache geometry, store
+// queue) — and drive the component models to bit-identical counters
+// without re-executing the kernel's own Go computation.
+//
+// Recording captures only the top-level call: API methods that are
+// implemented in terms of other API methods (Alloc's bookkeeping ALU µops,
+// Free's revocation sweeps) mute the recorder for their internals, so a
+// replayed Alloc/Free re-derives the same internal work instead of
+// double-applying it. Wrappers that add only check work with no accounting
+// of their own (LoadVia/StoreVia, LoadPtrChecked, AllocRecord/AllocArray)
+// are deliberately *not* instrumented — the inner call they delegate to is
+// the recorded event, and replaying it alone is accounting-identical.
+
+// ReplayOp enumerates the recordable API events. The numeric values are
+// the wire opcodes of internal/replay's block encoding — append only.
+type ReplayOp uint8
+
+// Replay opcodes. The comment gives the meaning of the a/b/c operands.
+const (
+	RopLoad          ReplayOp = iota // a=addr, b=size, c=1 if dependent
+	RopStore                         // a=addr, b=val, c=size
+	RopLoadPtr                       // a=addr
+	RopStorePtr                      // a=addr, b=target
+	RopBranch                        // a=1 if taken
+	RopBranchAt                      // a=site, b=1 if taken
+	RopCall                          // a=fn index, b=1 if crossDSO
+	RopCallVirtual                   // a=fn index
+	RopCallVirtualAt                 // a=site, b=fn index
+	RopReturn                        //
+	RopALU                           // a=n
+	RopCapManip                      // a=n
+	RopCapCodegen                    // a=n
+	RopFP                            // a=n
+	RopSIMD                          // a=n
+	RopCrypto                        // a=n
+	RopAlloc                         // a=size
+	RopFree                          // a=addr
+	RopFunc                          // a=codeBytes, b=frameBytes, c=name index
+	NumReplayOps
+)
+
+// ReplaySink receives the recorded event stream. Implementations must not
+// call back into the machine.
+type ReplaySink interface {
+	// Op records one event with up to three operands (see ReplayOp).
+	Op(op ReplayOp, a, b, c uint64)
+	// FuncOp records a Func registration with its raw (pre-ABI-scaling)
+	// arguments; the sink interns name and encodes its table index as the
+	// c operand of an RopFunc event.
+	FuncOp(name string, codeBytes, frameBytes uint64)
+}
+
+// SetReplaySink installs (or, with nil, removes) the machine's event
+// recorder. A nil sink costs one pointer test per API call.
+func (m *Machine) SetReplaySink(s ReplaySink) { m.rec = s }
+
+// recOn reports whether the current API call should be recorded: a sink is
+// installed and no enclosing API call is already being recorded.
+func (m *Machine) recOn() bool { return m.rec != nil && m.recMute == 0 }
+
+// The Replay* methods below are the fast-path equivalents of their public
+// counterparts, used by internal/replay when driving a recorded stream.
+// Each delegates to the same body the live path uses (exec.go) minus work
+// whose outcome is already fixed by the recording: spatial/provenance
+// checks (the recorded run completed them without faulting, and they
+// mutate no accounted state) and data reads whose values only the —
+// absent — kernel closure consumed (the raw-traffic byte counters are
+// still advanced). Stores run in full: written data and tags feed
+// revocation sweeps and later capability loads.
+
+// ReplayLoad replays a Load/LoadDep/LoadVia event.
+func (m *Machine) ReplayLoad(addr, size uint64, dep bool) {
+	m.loadAccounting(addr, size, Dependency(dep))
+	if size > 8 {
+		size = 8
+	}
+	m.Mem.BytesRead += size // ReadUint's traffic, without the dead read
+}
+
+// ReplayStore replays a Store/StoreVia event.
+func (m *Machine) ReplayStore(addr, val, size uint64) {
+	m.storeBody(addr, val, size)
+}
+
+// ReplayLoadPtr replays a LoadPtr/LoadPtrChecked event. The capability
+// image is not decoded: the recorded run proved the slot's tag and
+// permission state authorise the load, and the decoded address was only
+// consumed by the kernel closure.
+func (m *Machine) ReplayLoadPtr(addr uint64) {
+	if !m.ABI.PointersAreCapabilities() {
+		m.loadPtrIntAccounting(addr)
+		m.Mem.BytesRead += 8
+		return
+	}
+	m.loadPtrCapAccounting(addr)
+	m.Mem.BytesRead += 16 // ReadCap's traffic, without the dead decode
+}
+
+// ReplayStorePtr replays a StorePtr event. The stored capability is
+// re-derived from the replay machine's own heap state (identical by
+// induction), so the memory image and tag map stay bit-exact for
+// revocation sweeps and subsequent capability loads.
+func (m *Machine) ReplayStorePtr(addr, target uint64) {
+	m.storePtrUnchecked(addr, target)
+}

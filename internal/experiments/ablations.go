@@ -43,6 +43,7 @@ func ablate(s *Session, names []string, configure func(*core.Config)) (string, e
 	mod.Configure = configure
 	mod.Jobs = s.Jobs
 	mod.Store = s.Store // the Configure hook is part of the store key
+	mod.NoReplay = s.NoReplay
 	// Fan the modified-configuration runs out across the worker pool before
 	// the serial render below (the base session's pairs are declared via
 	// ablationPairs, so a campaign prefetch has already covered them).

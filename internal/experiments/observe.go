@@ -8,6 +8,7 @@ import (
 	"cherisim/internal/abi"
 	"cherisim/internal/core"
 	"cherisim/internal/faultinject"
+	"cherisim/internal/replay"
 	"cherisim/internal/telemetry"
 	"cherisim/internal/workloads"
 )
@@ -31,6 +32,9 @@ type runObserver struct {
 	sfHits        *telemetry.Counter
 	storeHits     *telemetry.Counter
 	storeMisses   *telemetry.Counter
+	replayRecords *telemetry.Counter
+	replayBlocks  *telemetry.Counter
+	replayUops    *telemetry.Counter
 
 	poolOccupancy *telemetry.Gauge
 	poolWorkers   *telemetry.Gauge
@@ -58,6 +62,9 @@ func newRunObserver(hub *telemetry.Hub) *runObserver {
 		sfHits:        m.Counter("singleflight_hits"),
 		storeHits:     m.Counter("store_hits"),
 		storeMisses:   m.Counter("store_misses"),
+		replayRecords: m.Counter("replay_records"),
+		replayBlocks:  m.Counter("replay_blocks"),
+		replayUops:    m.Counter("replay_fastpath_uops"),
 		poolOccupancy: m.Gauge("pool_occupancy"),
 		poolWorkers:   m.Gauge("pool_workers"),
 		wallMs:        m.Histogram("run_wall_ms", telemetry.ExpBuckets(0.25, 2, 18)),
@@ -94,6 +101,24 @@ func (o *runObserver) storeMiss() {
 	if o != nil {
 		o.storeMisses.Inc()
 	}
+}
+
+// recorded counts one event stream captured for the replay fast path.
+func (o *runObserver) recorded(t *replay.Trace) {
+	if o != nil {
+		o.replayRecords.Inc()
+		o.replayBlocks.Add(int64(t.Blocks()))
+	}
+}
+
+// replayed marks an attempt served from a recorded event stream and counts
+// the µops the fast path retired without interpreting the kernel.
+func (o *runObserver) replayed(att *telemetry.Span, t *replay.Trace) {
+	if o == nil {
+		return
+	}
+	o.replayUops.Add(int64(t.Uops))
+	att.Attr("replayed", true)
 }
 
 // runStart opens the workload-run span on the acquired worker's track.

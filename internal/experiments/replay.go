@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"cherisim/internal/replay"
+)
+
+// replayCache is the process-global store of recorded event streams,
+// shared by every session so ablation sub-sessions replay the streams the
+// base campaign recorded. The byte budget bounds a pathological campaign
+// (a -scale sweep records one stream per scale); keys beyond it simply
+// stay on the live path. The default -all campaign at -scale 1 uses well
+// under half of it.
+var replayCache = replay.NewCache(2 << 30)
+
+// replayDisabled is the campaign-wide escape hatch (-no-replay).
+var replayDisabled atomic.Bool
+
+// SetReplayEnabled toggles the record-and-replay fast path globally (the
+// cmd/experiments -no-replay flag). It defaults to enabled.
+func SetReplayEnabled(on bool) { replayDisabled.Store(!on) }
+
+// ReplayStats returns the fast path's campaign counters, for the stderr
+// campaign summary.
+func ReplayStats() replay.Stats { return replayCache.Stats() }
+
+// ResetReplay empties the recorded-stream cache and its counters. Tests
+// use it to isolate record/replay sequences; campaigns never need it.
+func ResetReplay() { replayCache.Reset() }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/faultinject"
+	"cherisim/internal/workloads"
+)
+
+// runGrid executes every (workload, ABI) pair on a fresh session and
+// returns the results keyed by pair name.
+func runGrid(t *testing.T, mutate func(*Session)) map[string]*RunData {
+	t.Helper()
+	s := NewSession(1)
+	if mutate != nil {
+		mutate(s)
+	}
+	out := make(map[string]*RunData)
+	for _, w := range workloads.All() {
+		for _, a := range abi.All() {
+			out[w.Name+"/"+a.String()] = s.Run(w, a)
+		}
+	}
+	return out
+}
+
+// diffGrids fails the test on the first pair whose RunData differs.
+func diffGrids(t *testing.T, label string, want, got map[string]*RunData) {
+	t.Helper()
+	for k, w := range want {
+		g := got[k]
+		if g == nil {
+			t.Fatalf("%s: %s missing", label, k)
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("%s: %s diverged:\nlive:   %+v\nreplay: %+v", label, k, w, g)
+		}
+	}
+}
+
+// TestReplayDifferentialAllPairs is the fast path's end-to-end exactness
+// gate: for every (workload, ABI) pair — including the faulting ones —
+// the full record-and-replay sequence must produce RunData deep-equal to
+// a live -no-replay execution. Four grids run: a NoReplay baseline, the
+// first-sighting grid (live, demand-driven recording not yet armed), the
+// recording grid, and the replaying grid; the last must actually be
+// served from recorded streams.
+func TestReplayDifferentialAllPairs(t *testing.T) {
+	ResetReplay()
+	defer ResetReplay()
+
+	live := runGrid(t, func(s *Session) { s.NoReplay = true })
+	first := runGrid(t, nil)    // sights every key
+	second := runGrid(t, nil)   // records the fault-free keys
+	replayed := runGrid(t, nil) // replays them
+
+	diffGrids(t, "first", live, first)
+	diffGrids(t, "second", live, second)
+	diffGrids(t, "replayed", live, replayed)
+
+	st := ReplayStats()
+	if st.Records == 0 || st.Replays == 0 {
+		t.Fatalf("fast path never engaged: %+v", st)
+	}
+}
+
+// TestReplayRenderByteIdentical locks the user-visible contract: a
+// rendered experiment is byte-identical whether its measurements ran
+// live or replayed from recorded streams.
+func TestReplayRenderByteIdentical(t *testing.T) {
+	ResetReplay()
+	defer ResetReplay()
+
+	e, err := ByID("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(mutate func(*Session)) string {
+		s := NewSession(1)
+		if mutate != nil {
+			mutate(s)
+		}
+		out, err := e.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := render(func(s *Session) { s.NoReplay = true })
+	render(nil)        // sight
+	render(nil)        // record
+	got := render(nil) // replay
+	if st := ReplayStats(); st.Replays == 0 {
+		t.Fatalf("render was not served by replay: %+v", st)
+	}
+	if got != want {
+		t.Errorf("replayed render differs from live render:\nlive:\n%s\nreplayed:\n%s", want, got)
+	}
+}
+
+// TestReplayFaultFreeChaosSeedRun pins the eligibility boundary from the
+// fault-free side: a session with a ChaosSeed but no injector (Chaos
+// nil) is unsupervised, so it both uses the fast path and matches the
+// live results exactly.
+func TestReplayFaultFreeChaosSeedRun(t *testing.T) {
+	ResetReplay()
+	defer ResetReplay()
+
+	w, err := workloads.ByName("519.lbm_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := NewSession(1)
+	baseline.NoReplay = true
+	baseline.ChaosSeed = 7
+	want := baseline.Run(w, abi.Purecap)
+
+	for i := 0; i < 3; i++ { // sight, record, replay
+		s := NewSession(1)
+		s.ChaosSeed = 7
+		got := s.Run(w, abi.Purecap)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("run %d diverged from live baseline:\nlive:   %+v\ngot:    %+v", i, want, got)
+		}
+	}
+	if st := ReplayStats(); st.Replays == 0 {
+		t.Fatalf("chaos-seeded but injector-free session skipped the fast path: %+v", st)
+	}
+}
+
+// TestSupervisedAndCheckedRunsBypassReplay asserts the modes that must
+// observe every live event never record or replay: chaos injection,
+// watchdog deadlines, and the lockstep checker.
+func TestSupervisedAndCheckedRunsBypassReplay(t *testing.T) {
+	ResetReplay()
+	defer ResetReplay()
+
+	w, err := workloads.ByName("519.lbm_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Session){
+		func(s *Session) {
+			s.Chaos = &faultinject.Config{Seed: 3, RatePerMUops: 50, Kinds: faultinject.AllKinds()}
+		},
+		func(s *Session) { s.DeadlineUops = 1 << 40 },
+		func(s *Session) { s.Check = true },
+	}
+	for i, mutate := range mutations {
+		for run := 0; run < 3; run++ { // would sight+record+replay if eligible
+			s := NewSession(1)
+			mutate(s)
+			if d := s.Run(w, abi.Hybrid); d == nil {
+				t.Fatalf("mutation %d run %d returned nil", i, run)
+			}
+		}
+	}
+	if st := ReplayStats(); st.Records != 0 || st.Replays != 0 {
+		t.Fatalf("supervised or checked runs touched the fast path: %+v", st)
+	}
+}

@@ -101,6 +101,7 @@ func runResilience(s *Session) (string, error) {
 			sub.DeadlineUops = s.DeadlineUops
 			sub.Retries = retries
 			sub.Store = s.Store // chaos schedule is part of the store key
+			sub.NoReplay = s.NoReplay
 			sub.shareTelemetryWith(s)
 			if rate > 0 {
 				sub.Chaos = &faultinject.Config{Seed: seed, RatePerMUops: rate, Kinds: kinds}

@@ -17,6 +17,7 @@ import (
 	"cherisim/internal/faultinject"
 	"cherisim/internal/metrics"
 	"cherisim/internal/pmu"
+	"cherisim/internal/replay"
 	"cherisim/internal/resultstore"
 	"cherisim/internal/telemetry"
 	"cherisim/internal/topdown"
@@ -105,6 +106,14 @@ type Session struct {
 	// with a transient injected fault (core.IsTransient). Fatal capability
 	// violations, deadlines and panics are never retried.
 	Retries int
+
+	// NoReplay opts this session out of the record-and-replay fast path
+	// (see internal/replay): every run executes its kernel live. Supervised
+	// sessions (Chaos, DeadlineUops, Check) are always on the live path
+	// regardless — fault injection and lockstep shadowing must observe
+	// every event. The -no-replay flag disables the fast path globally via
+	// SetReplayEnabled instead.
+	NoReplay bool
 
 	// Check, when true, runs every measurement under the lockstep
 	// reference-model harness: each machine's caches and TLBs get a naive
@@ -332,9 +341,39 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 	if s.Configure != nil {
 		s.Configure(&cfg)
 	}
+	supervised := s.Chaos != nil || s.DeadlineUops > 0
+
+	// Record-and-replay fast path (internal/replay): unsupervised,
+	// uncheckered runs replay a previously recorded event stream for the
+	// same (workload, ABI, scale, heap-shaping) key — bit-identical
+	// counters without interpreting the kernel. Recording is demand-driven
+	// (see replay.Cache): a key's second miss proves the campaign
+	// re-requests it (ablation sessions re-measuring the grid under
+	// modified timing models), so that execution records its stream and
+	// every later request replays.
+	fast := s.replayEligible() && !supervised
+	var rkey replay.Key
+	var record bool
+	if fast {
+		var t *replay.Trace
+		rkey = replay.KeyFor(w.Name, s.Scale, &cfg)
+		if t, record = replayCache.Lookup(rkey); t != nil {
+			m := core.NewMachine(cfg)
+			m.DisableProfile()
+			if err := replay.Run(m, t); err == nil {
+				obs.replayed(att, t)
+				return runDataOf(m, nil, nil)
+			}
+			// A replay error means the trace cannot be trusted (it cannot
+			// legitimately happen: recorded runs were fault-free and
+			// deterministic). Demote the key to the live path.
+			replayCache.Drop(rkey)
+		}
+	}
+
 	var inj *faultinject.Injector
 	var setup func(*core.Machine)
-	if s.Chaos != nil || s.DeadlineUops > 0 {
+	if supervised {
 		if s.Chaos != nil {
 			c := *s.Chaos
 			c.Seed = faultinject.RunSeed(c.Seed, w.Name, a.String(), attempt)
@@ -368,11 +407,39 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 			}
 		}
 	}
-	m, err := workloads.ExecuteHooked(w, cfg, s.Scale, setup)
-	d := &RunData{Err: err}
-	if inj != nil {
-		d.Injected = inj.Events()
+	var rec *replay.Recorder
+	if record {
+		rec = replay.NewRecorder()
 	}
+	inner := setup
+	setup = func(m *core.Machine) {
+		// Nothing in the harness reads per-function profiles; skipping
+		// attribution changes no counter or metric (see DisableProfile).
+		m.DisableProfile()
+		if rec != nil {
+			m.SetReplaySink(rec)
+		}
+		if inner != nil {
+			inner(m)
+		}
+	}
+	m, err := workloads.ExecuteHooked(w, cfg, s.Scale, setup)
+	if rec != nil && err == nil && m != nil {
+		if t := rec.Finish(m.Uops()); replayCache.Put(rkey, t) {
+			obs.recorded(t)
+		}
+	}
+	var injected []faultinject.Event
+	if inj != nil {
+		injected = inj.Events()
+	}
+	return runDataOf(m, err, injected)
+}
+
+// runDataOf assembles the retained outcome of one execution (live or
+// replayed).
+func runDataOf(m *core.Machine, err error, injected []faultinject.Event) *RunData {
+	d := &RunData{Err: err, Injected: injected}
 	if m != nil {
 		d.Counters = m.C
 		d.Metrics = metrics.Compute(&m.C)
@@ -382,6 +449,12 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 		d.hasMachine = true
 	}
 	return d
+}
+
+// replayEligible reports whether this session may use the record-and-replay
+// fast path at all (supervised runs are additionally excluded per call).
+func (s *Session) replayEligible() bool {
+	return !replayDisabled.Load() && !s.NoReplay && !s.Check
 }
 
 // Prefetch fans the given pairs out across the worker pool and blocks

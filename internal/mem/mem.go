@@ -30,6 +30,14 @@ type page struct {
 type Memory struct {
 	pages map[uint64]*page
 
+	// lastPN/lastPage memoise the most recently touched resident page.
+	// Accesses overwhelmingly stay on one page across consecutive calls, and
+	// the memo turns those lookups into one compare instead of a map probe.
+	// Pages are never removed, so the memo can only go stale by pointing at
+	// a page that is still valid — it never fabricates residency.
+	lastPN   uint64
+	lastPage *page
+
 	// BytesRead and BytesWritten accumulate raw traffic for bandwidth
 	// accounting by the DRAM model.
 	BytesRead    uint64
@@ -43,10 +51,16 @@ func New() *Memory {
 
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	pn := addr / PageSize
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = &page{}
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

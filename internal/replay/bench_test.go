@@ -1,0 +1,89 @@
+package replay
+
+import (
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+)
+
+// loadStoreTrace records a load/store-heavy event stream of n pairs (the
+// access pattern of cmd/bench-export's MachineLoadStore baseline).
+func loadStoreTrace(n int) *Trace {
+	rec := NewRecorder()
+	m := core.New(abi.Purecap)
+	m.SetReplaySink(rec)
+	m.Func("bench", 512, 64)
+	var uops uint64
+	err := m.Run(func(m *core.Machine) {
+		p := m.Alloc(1 << 20)
+		for i := 0; i < n; i++ {
+			off := core.Ptr(uint64(i*64) % (1 << 20))
+			m.Store(p+off, uint64(i), 8)
+			m.Load(p+off, 8)
+		}
+		uops = m.Uops()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rec.Finish(uops)
+}
+
+// BenchmarkMachineLoadStoreLive is the live-interpretation baseline the
+// replay numbers compare against: one store + one load per iteration
+// through the full accounting path, no recording.
+func BenchmarkMachineLoadStoreLive(b *testing.B) {
+	b.ReportAllocs()
+	m := core.New(abi.Purecap)
+	m.Func("bench", 512, 64)
+	err := m.Run(func(m *core.Machine) {
+		p := m.Alloc(1 << 20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := core.Ptr(uint64(i*64) % (1 << 20))
+			m.Store(p+off, uint64(i), 8)
+			m.Load(p+off, 8)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMachineLoadStoreRecording measures the same pair with a
+// Recorder attached — the marginal cost of capturing the event stream.
+func BenchmarkMachineLoadStoreRecording(b *testing.B) {
+	b.ReportAllocs()
+	m := core.New(abi.Purecap)
+	m.SetReplaySink(NewRecorder())
+	m.Func("bench", 512, 64)
+	err := m.Run(func(m *core.Machine) {
+		p := m.Alloc(1 << 20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := core.Ptr(uint64(i*64) % (1 << 20))
+			m.Store(p+off, uint64(i), 8)
+			m.Load(p+off, 8)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplayLoadStore measures the fast path's per-pair cost:
+// decoding and applying one recorded store + one recorded load. The loop
+// replays a 64k-pair trace onto fresh machines and reports per pair.
+func BenchmarkReplayLoadStore(b *testing.B) {
+	const pairs = 1 << 16
+	t := loadStoreTrace(pairs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += pairs {
+		m := core.New(abi.Purecap)
+		if err := Run(m, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package replay
+
+import (
+	"sync"
+
+	"cherisim/internal/core"
+)
+
+// Key identifies one deterministic event stream. It holds exactly the
+// inputs the stream is a function of: the kernel and its iteration scale,
+// the ABI (lowering, pointer width, allocation rounding), and the
+// heap-shaping configuration (allocation addresses feed back into the
+// closure's recorded operands). Timing-model fields — predictor, cache
+// and TLB geometry, MLP, store-queue penalty — are deliberately absent:
+// streams recorded under the default machine replay bit-exactly onto
+// ablation machines, which is where the fast path earns its keep.
+type Key struct {
+	Workload             string
+	ABI                  string
+	Scale                int
+	HeapSize             uint64
+	TemporalSafety       bool
+	RevokeThresholdBytes uint64
+	EnforceBounds        bool
+}
+
+// KeyFor derives the stream key of running workload at the given scale
+// under cfg.
+func KeyFor(workload string, scale int, cfg *core.Config) Key {
+	return Key{
+		Workload:             workload,
+		ABI:                  cfg.ABI.String(),
+		Scale:                scale,
+		HeapSize:             cfg.HeapSize,
+		TemporalSafety:       cfg.TemporalSafety,
+		RevokeThresholdBytes: cfg.RevokeThresholdBytes,
+		EnforceBounds:        cfg.EnforceBounds,
+	}
+}
+
+// Stats are the fast path's campaign counters.
+type Stats struct {
+	// Records counts recorded streams; Blocks and Bytes their storage.
+	Records uint64
+	Blocks  uint64
+	Bytes   uint64
+	// Replays counts executions served from a recorded stream, and
+	// FastpathUops the classified µops those replays retired without
+	// interpreting the kernel.
+	Replays      uint64
+	FastpathUops uint64
+	// Rejected counts recordings discarded because the byte budget was
+	// exhausted.
+	Rejected uint64
+}
+
+// Cache is a byte-budgeted store of recorded traces, safe for concurrent
+// use by the session worker pool.
+//
+// Recording is demand-driven: the first execution of a key runs live and
+// unrecorded (most keys — a grid pair at an unrepeated scale, a
+// hybrid-only baseline — are never requested again, and recording them
+// would tax every run for nothing). A key's second miss proves the
+// campaign re-requests it, so that execution records, and every later
+// request replays.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[Key]*Trace
+	seen   map[Key]struct{}
+	budget int
+	used   int
+	stats  Stats
+}
+
+// NewCache builds a cache bounded by budgetBytes of pre-lowered trace
+// data (<= 0 means unbounded).
+func NewCache(budgetBytes int) *Cache {
+	return &Cache{m: make(map[Key]*Trace), seen: make(map[Key]struct{}), budget: budgetBytes}
+}
+
+// Lookup consults the cache for k. A non-nil trace serves the execution
+// by replay (counted). Otherwise record reports whether this (live)
+// execution should record its stream: false on the key's first sighting,
+// true once the campaign has demonstrably requested k more than once.
+func (c *Cache) Lookup(k Key) (t *Trace, record bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t = c.m[k]; t != nil {
+		c.stats.Replays++
+		c.stats.FastpathUops += t.Uops
+		return t, false
+	}
+	if _, ok := c.seen[k]; ok {
+		return nil, true
+	}
+	c.seen[k] = struct{}{}
+	return nil, false
+}
+
+// Put stores the trace recorded for k. It reports whether the trace was
+// retained: a concurrent recording of the same key keeps the first copy,
+// and recordings beyond the byte budget are dropped (the key simply stays
+// on the live path).
+func (c *Cache) Put(k Key, t *Trace) bool {
+	sz := t.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[k]; dup {
+		return false
+	}
+	if c.budget > 0 && c.used+sz > c.budget {
+		c.stats.Rejected++
+		return false
+	}
+	c.m[k] = t
+	c.used += sz
+	c.stats.Records++
+	c.stats.Blocks += uint64(t.Blocks())
+	c.stats.Bytes += uint64(sz)
+	return true
+}
+
+// Drop removes k's trace (a replay failure demotes the key to the live
+// path).
+func (c *Cache) Drop(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.m[k]; t != nil {
+		c.used -= t.Bytes()
+		delete(c.m, k)
+	}
+}
+
+// Stats returns a snapshot of the campaign counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset empties the cache, forgets key sightings and zeroes the counters
+// (tests).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[Key]*Trace)
+	c.seen = make(map[Key]struct{})
+	c.used = 0
+	c.stats = Stats{}
+}

@@ -1,0 +1,251 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+)
+
+// record runs a small but representative kernel — functions, calls,
+// branches, loads/stores, pointer traffic, µop batches, alloc/free —
+// under a recorder and returns the sealed trace with the recording
+// machine's final counters.
+func record(t *testing.T, a abi.ABI) (*Trace, *core.Machine) {
+	t.Helper()
+	rec := NewRecorder()
+	m := core.New(a)
+	m.SetReplaySink(rec)
+	main := m.Func("main", 4096, 128)
+	leaf := m.Func("leaf", 512, 64)
+	var uops uint64
+	err := m.Run(func(m *core.Machine) {
+		m.Call(main, false)
+		p := m.Alloc(1 << 12)
+		q := m.AllocArray(16, 64)
+		for i := 0; i < 256; i++ {
+			m.ALU(3)
+			m.Store(p+core.Ptr(i%512)*8, uint64(i), 8)
+			m.Load(p+core.Ptr(i%512)*8, 8)
+			m.StorePtr(q+core.Ptr(i%16)*16, p)
+			m.LoadPtr(q + core.Ptr(i%16)*16)
+			m.Branch(i%3 == 0)
+			if i%17 == 0 {
+				m.Call(leaf, i%2 == 0)
+				m.FP(4)
+				m.SIMD(2)
+				m.Return()
+			}
+		}
+		m.Free(p)
+		m.Return()
+		uops = m.Uops()
+	})
+	if err != nil {
+		t.Fatalf("recording run failed: %v", err)
+	}
+	trace := rec.Finish(uops)
+	if trace.Events == 0 {
+		t.Fatal("recorder captured no events")
+	}
+	return trace, m
+}
+
+// events flattens a trace for comparison.
+func events(t *testing.T, tr *Trace) [][4]uint64 {
+	t.Helper()
+	var out [][4]uint64
+	if err := tr.Decode(func(op core.ReplayOp, a, b, c uint64) error {
+		out = append(out, [4]uint64{uint64(op), a, b, c})
+		return nil
+	}); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+// TestReplayReproducesCounters is the package's core exactness check: a
+// recorded stream driven onto a fresh machine of the same configuration
+// reproduces the recording machine's full PMU counter state bit for bit.
+func TestReplayReproducesCounters(t *testing.T) {
+	for _, a := range abi.All() {
+		tr, live := record(t, a)
+		m := core.New(a)
+		m.DisableProfile()
+		if err := Run(m, tr); err != nil {
+			t.Fatalf("%s: replay failed: %v", a, err)
+		}
+		if !reflect.DeepEqual(live.C, m.C) {
+			t.Errorf("%s: replayed counters diverged from live counters:\nlive:   %+v\nreplay: %+v", a, live.C, m.C)
+		}
+		if m.Uops() != live.Uops() {
+			t.Errorf("%s: replayed %d µops, live retired %d", a, m.Uops(), live.Uops())
+		}
+	}
+}
+
+// TestWireRoundTrip locks the wire format: Encode → DecodeTrace must
+// reproduce the event stream, name table and µop count exactly, and the
+// decoded trace must replay to the same counters as the original.
+func TestWireRoundTrip(t *testing.T) {
+	tr, _ := record(t, abi.Purecap)
+	got, err := DecodeTrace(tr.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Events != tr.Events || got.Uops != tr.Uops {
+		t.Fatalf("round trip changed totals: events %d->%d, uops %d->%d",
+			tr.Events, got.Events, tr.Uops, got.Uops)
+	}
+	if !reflect.DeepEqual(got.names, tr.names) {
+		t.Fatalf("round trip changed name table: %v -> %v", tr.names, got.names)
+	}
+	if !reflect.DeepEqual(events(t, tr), events(t, got)) {
+		t.Fatal("round trip changed the event stream")
+	}
+	m1, m2 := core.New(abi.Purecap), core.New(abi.Purecap)
+	m1.DisableProfile()
+	m2.DisableProfile()
+	if err := Run(m1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(m2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.C, m2.C) {
+		t.Fatal("original and round-tripped traces replay to different counters")
+	}
+}
+
+// TestDecodeTraceRejectsCorruption spot-checks the wire decoder's
+// structural validation.
+func TestDecodeTraceRejectsCorruption(t *testing.T) {
+	tr, _ := record(t, abi.Hybrid)
+	enc := tr.Encode()
+
+	if _, err := DecodeTrace(nil); err == nil {
+		t.Error("empty input decoded")
+	}
+	if _, err := DecodeTrace([]byte("XXXX")); err == nil {
+		t.Error("bad magic decoded")
+	}
+	if _, err := DecodeTrace(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated stream decoded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] = 0xFF // corrupt the tail into a dangling varint/opcode
+	if _, err := DecodeTrace(bad); err == nil {
+		t.Error("corrupted tail decoded")
+	}
+}
+
+// TestDriveRejectsBadIndexes asserts replay fails cleanly — instead of
+// panicking or misattributing — on streams whose call or name operands
+// point outside the registered tables.
+func TestDriveRejectsBadIndexes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  func(r *Recorder)
+	}{
+		{"call", func(r *Recorder) { r.Op(core.RopCall, 7, 0, 0) }},
+		{"callvirtual", func(r *Recorder) { r.Op(core.RopCallVirtual, 7, 0, 0) }},
+		{"callvirtualat", func(r *Recorder) { r.Op(core.RopCallVirtualAt, 1, 7, 0) }},
+		{"funcname", func(r *Recorder) { r.Op(core.RopFunc, 64, 64, 9) }},
+	} {
+		r := NewRecorder()
+		tc.rec(r)
+		if err := Drive(core.New(abi.Hybrid), r.Finish(0)); err == nil {
+			t.Errorf("%s: out-of-range index replayed without error", tc.name)
+		}
+	}
+}
+
+// TestCacheDemandDrivenRecording pins the recording policy: first
+// sighting of a key runs unrecorded, the second miss asks for a
+// recording, and a stored trace serves every later lookup.
+func TestCacheDemandDrivenRecording(t *testing.T) {
+	c := NewCache(0)
+	k := Key{Workload: "w", ABI: "purecap", Scale: 1}
+
+	if tr, rec := c.Lookup(k); tr != nil || rec {
+		t.Fatalf("first sighting: got (%v, %v), want (nil, false)", tr, rec)
+	}
+	if tr, rec := c.Lookup(k); tr != nil || !rec {
+		t.Fatalf("second miss: got (%v, %v), want (nil, true)", tr, rec)
+	}
+
+	r := NewRecorder()
+	r.Op(core.RopALU, 1, 0, 0)
+	stored := r.Finish(1)
+	if !c.Put(k, stored) {
+		t.Fatal("put rejected with no budget bound")
+	}
+	if tr, rec := c.Lookup(k); tr != stored || rec {
+		t.Fatalf("after put: got (%v, %v), want stored trace", tr, rec)
+	}
+	st := c.Stats()
+	if st.Records != 1 || st.Replays != 1 || st.FastpathUops != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	c.Drop(k)
+	if tr, _ := c.Lookup(k); tr != nil {
+		t.Fatal("dropped key still served")
+	}
+}
+
+// TestCacheBudget asserts recordings beyond the byte budget are rejected
+// and counted, leaving their keys on the live path.
+func TestCacheBudget(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Op(core.RopALU, uint64(i), 0, 0)
+	}
+	tr := r.Finish(100)
+
+	c := NewCache(tr.Bytes() + 1)
+	if !c.Put(Key{Workload: "a"}, tr) {
+		t.Fatal("first trace rejected within budget")
+	}
+	if c.Put(Key{Workload: "b"}, tr) {
+		t.Fatal("second trace accepted over budget")
+	}
+	if st := c.Stats(); st.Records != 1 || st.Rejected != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDriveAllocationFree guards the fast path's zero-allocation
+// contract: replaying a stream without Func registrations allocates
+// nothing per run.
+func TestDriveAllocationFree(t *testing.T) {
+	rec := NewRecorder()
+	m := core.New(abi.Purecap)
+	m.Func("bench", 512, 64)
+	err := m.Run(func(m *core.Machine) {
+		p := m.Alloc(1 << 12)
+		m.SetReplaySink(rec) // attach after Alloc: stream is loads/stores only
+		for i := 0; i < 512; i++ {
+			m.Store(p+core.Ptr(i%512)*8, uint64(i), 8)
+			m.Load(p+core.Ptr(i%512)*8, 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish(0)
+
+	m2 := core.New(abi.Purecap)
+	m2.DisableProfile()
+	if err := Drive(m2, tr); err != nil { // warm translation state
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := Drive(m2, tr); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Drive allocated %.1f times per replay, want 0", allocs)
+	}
+}

@@ -79,17 +79,71 @@ type TLB struct {
 	seq      uint64
 	lastVPN  uint64
 	lastSlot int // -1 when the memo is empty
-	shadow   Shadow
-	Stats    Stats
+	// prev/next/head/tail maintain the entries as an intrusive recency
+	// list mirroring the lru sequence numbers, so Insert's victim is the
+	// tail in O(1) instead of a full scan for the minimum. nextFree is the
+	// first never-used slot: entries only become valid in slot order and
+	// are only invalidated all at once, so the invalid slots are exactly
+	// [nextFree, len) and "first invalid slot" is nextFree.
+	prev, next []int32
+	head, tail int32
+	nextFree   int
+	shadow     Shadow
+	Stats      Stats
 }
 
 // New builds a TLB from its configuration.
 func New(cfg Config) *TLB {
-	return &TLB{
+	t := &TLB{
 		cfg:      cfg,
 		entries:  make([]entry, cfg.Entries),
 		index:    make(map[uint64]int, cfg.Entries),
 		lastSlot: -1,
+		prev:     make([]int32, cfg.Entries),
+		next:     make([]int32, cfg.Entries),
+		head:     -1,
+		tail:     -1,
+	}
+	return t
+}
+
+// touch moves slot i to the head of the recency list (the equivalent of
+// assigning it the newest lru sequence number).
+func (t *TLB) touch(i int) {
+	if t.head == int32(i) {
+		return
+	}
+	p, n := t.prev[i], t.next[i]
+	if p >= 0 {
+		t.next[p] = n
+	}
+	if n >= 0 {
+		t.prev[n] = p
+	}
+	if t.tail == int32(i) {
+		t.tail = p
+	}
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = int32(i)
+	}
+	t.head = int32(i)
+	if t.tail < 0 {
+		t.tail = int32(i)
+	}
+}
+
+// pushFront links a slot that is not currently in the recency list.
+func (t *TLB) pushFront(i int) {
+	t.prev[i] = -1
+	t.next[i] = t.head
+	if t.head >= 0 {
+		t.prev[t.head] = int32(i)
+	}
+	t.head = int32(i)
+	if t.tail < 0 {
+		t.tail = int32(i)
 	}
 }
 
@@ -108,6 +162,7 @@ func (t *TLB) fastHit(vpn uint64) bool {
 	t.Stats.Accesses++
 	t.seq++
 	e.lru = t.seq
+	t.touch(i)
 	if t.shadow != nil {
 		t.shadow.Lookup(vpn, true)
 	}
@@ -124,6 +179,7 @@ func (t *TLB) Lookup(addr uint64) bool {
 	t.seq++
 	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
 		t.entries[i].lru = t.seq
+		t.touch(i)
 		t.lastVPN, t.lastSlot = vpn, i
 		if t.shadow != nil {
 			t.shadow.Lookup(vpn, true)
@@ -148,22 +204,24 @@ func (t *TLB) Insert(addr uint64) {
 	t.seq++
 	if i, ok := t.index[vpn]; ok && t.entries[i].valid && t.entries[i].vpn == vpn {
 		t.entries[i].lru = t.seq
+		t.touch(i)
 		t.lastVPN, t.lastSlot = vpn, i
 		if t.shadow != nil {
 			t.shadow.Insert(vpn)
 		}
 		return
 	}
-	victim := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !e.valid {
-			victim = i
-			break
-		}
-		if e.lru < t.entries[victim].lru {
-			victim = i
-		}
+	// Victim: the first never-used slot, else the recency-list tail (the
+	// valid entry with the minimum lru) — the same choice the full scan
+	// makes, in O(1).
+	var victim int
+	if t.nextFree < len(t.entries) {
+		victim = t.nextFree
+		t.nextFree++
+		t.pushFront(victim)
+	} else {
+		victim = int(t.tail)
+		t.touch(victim)
 	}
 	if v := &t.entries[victim]; v.valid {
 		delete(t.index, v.vpn)
@@ -183,6 +241,8 @@ func (t *TLB) InvalidateAll() {
 	}
 	t.index = make(map[uint64]int, t.cfg.Entries)
 	t.lastSlot = -1
+	t.head, t.tail = -1, -1
+	t.nextFree = 0
 	if t.shadow != nil {
 		t.shadow.InvalidateAll()
 	}
@@ -240,6 +300,27 @@ func (t *TLB) CheckInvariants() error {
 		if i < 0 || i >= len(t.entries) || !t.entries[i].valid || t.entries[i].vpn != vpn {
 			return fmt.Errorf("tlb %s: index maps vpn %#x to stale slot %d", t.cfg.Name, vpn, i)
 		}
+	}
+	// The recency list must cover exactly the valid entries in strictly
+	// descending lru order: its tail is Insert's O(1) victim, so a mis-
+	// ordered list silently changes replacement behaviour.
+	listed := 0
+	lastLRU := ^uint64(0)
+	for i := t.head; i >= 0; i = t.next[i] {
+		e := &t.entries[i]
+		if !e.valid {
+			return fmt.Errorf("tlb %s: invalid slot %d on recency list", t.cfg.Name, i)
+		}
+		if listed > 0 && e.lru >= lastLRU {
+			return fmt.Errorf("tlb %s: recency list out of lru order at slot %d", t.cfg.Name, i)
+		}
+		lastLRU = e.lru
+		if listed++; listed > len(t.entries) {
+			return fmt.Errorf("tlb %s: recency list cycle", t.cfg.Name)
+		}
+	}
+	if listed != len(seen) {
+		return fmt.Errorf("tlb %s: recency list covers %d entries, %d valid", t.cfg.Name, listed, len(seen))
 	}
 	return nil
 }
