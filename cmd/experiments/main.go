@@ -16,6 +16,12 @@
 //	experiments -all -chaos tag-clear,perm-drop -chaos-rate 200
 //	experiments -all -deadline 50000000         # per-run µop watchdog budget
 //
+// The security gate runs the memory-safety attack corpus and checks every
+// per-ABI verdict against its expected-outcome spec (exit 1 on divergence):
+//
+//	experiments -run security                   # full corpus x 3 ABIs
+//	experiments -run security -attacks uaf,oob-write
+//
 // Observability turns the measurement lens back on the engine itself:
 //
 //	experiments -all -trace-out trace.json      # Perfetto-loadable timeline
@@ -48,7 +54,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
+	"cherisim/internal/attacks"
 	"cherisim/internal/experiments"
 	"cherisim/internal/faultinject"
 	"cherisim/internal/golden"
@@ -71,6 +79,8 @@ func main() {
 		"run every measurement under the lockstep reference-model checker (slower; divergences are reported on stderr and fail the exit code)")
 	deadline := flag.Int64("deadline", 0, "per-run µop watchdog budget (0 = unlimited)")
 	retries := flag.Int("retries", 2, "bounded retries for transient injected faults")
+	attacksFlag := flag.String("attacks", "",
+		"comma-separated attack names restricting the security experiment (requires -run security)")
 	traceOut := flag.String("trace-out", "",
 		"write the campaign timeline as Chrome trace-event JSON (load at ui.perfetto.dev)")
 	httpAddr := flag.String("http", "",
@@ -94,6 +104,18 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetReplayEnabled(!*noReplay)
+	var attackNames []string
+	if *attacksFlag != "" {
+		if *run != "security" {
+			fmt.Fprintln(os.Stderr, "experiments: -attacks only applies to the security experiment (use -run security)")
+			os.Exit(2)
+		}
+		attackNames = strings.Split(*attacksFlag, ",")
+		if _, err := attacks.Select(attackNames); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+	}
 	if err := baselineConfig(*baselinePath, *updateBaseline, *run); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
@@ -120,6 +142,7 @@ func main() {
 		s.Telemetry = hub
 		s.Check = *checkFlag
 		s.Store = store
+		s.Attacks = attackNames
 		return s
 	}
 	reportStore := func() {
@@ -151,10 +174,14 @@ func main() {
 		teardownTelemetry(s, hub, ops, *traceOut)
 		reportStore()
 		code := reportCheck(s, os.Stderr)
+		// A gate experiment (security) renders its matrix and returns an
+		// error for the exit code: print what rendered before failing.
+		if out != "" {
+			fmt.Printf("== %s (%s) ==\n%s\n", e.Title, e.Section, out)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("== %s (%s) ==\n%s\n", e.Title, e.Section, out)
 		if code != 0 {
 			os.Exit(code)
 		}
@@ -299,7 +326,7 @@ func runCampaign(s *experiments.Session, stdout, stderr io.Writer) int {
 	if len(failed) == 0 {
 		return 0
 	}
-	fmt.Fprintf(stderr, "experiments: %d of %d experiments failed:\n", len(failed), len(experiments.All()))
+	fmt.Fprintf(stderr, "experiments: %d of %d experiments failed:\n", len(failed), len(experiments.Renderable()))
 	for _, f := range failed {
 		fmt.Fprintf(stderr, "  %-20s %v\n", f.ID, f.Err)
 	}

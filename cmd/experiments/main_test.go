@@ -79,7 +79,7 @@ func TestRunCampaignDegradedMode(t *testing.T) {
 	}
 
 	valid := map[string]bool{}
-	for _, e := range experiments.All() {
+	for _, e := range experiments.Renderable() {
 		valid[e.ID] = true
 	}
 
@@ -91,8 +91,8 @@ func TestRunCampaignDegradedMode(t *testing.T) {
 	if _, err := fmt.Sscanf(sc.Text(), "experiments: %d of %d experiments failed:", &n, &total); err != nil {
 		t.Fatalf("malformed summary header %q: %v", sc.Text(), err)
 	}
-	if n == 0 || total != len(experiments.All()) {
-		t.Fatalf("summary header %q: want >0 failures of %d", sc.Text(), len(experiments.All()))
+	if n == 0 || total != len(experiments.Renderable()) {
+		t.Fatalf("summary header %q: want >0 failures of %d", sc.Text(), len(experiments.Renderable()))
 	}
 	seen := map[string]bool{}
 	for sc.Scan() {
@@ -139,8 +139,8 @@ func TestRunCampaignSuccessExitCode(t *testing.T) {
 	if stderr.Len() != 0 {
 		t.Fatalf("healthy campaign wrote to stderr:\n%s", stderr.String())
 	}
-	if got := renderedHeaders(stdout.String()); got != len(experiments.All()) {
-		t.Fatalf("%d experiments rendered, want %d", got, len(experiments.All()))
+	if got := renderedHeaders(stdout.String()); got != len(experiments.Renderable()) {
+		t.Fatalf("%d experiments rendered, want %d", got, len(experiments.Renderable()))
 	}
 }
 

@@ -130,25 +130,47 @@ func (h *Heap) Alloc(size uint64) (uint64, error) {
 }
 
 func (h *Heap) commit(addr, size, rsize uint64) {
+	// A hybrid double free can leave the same address on a free list
+	// twice; the second pop then re-commits a block that is already live
+	// (the aliasing the fastbin-dup attack exploits). Keep the index and
+	// byte accounting single-entry in that case.
+	if _, aliased := h.live[addr]; !aliased {
+		i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= addr })
+		h.sorted = append(h.sorted, 0)
+		copy(h.sorted[i+1:], h.sorted[i:])
+		h.sorted[i] = addr
+		h.liveBytes += rsize
+		if h.liveBytes > h.peakLiveBytes {
+			h.peakLiveBytes = h.liveBytes
+		}
+	}
 	h.live[addr] = rsize
-	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= addr })
-	h.sorted = append(h.sorted, 0)
-	copy(h.sorted[i+1:], h.sorted[i:])
-	h.sorted[i] = addr
 	h.allocs++
 	h.requested += size
 	h.rounded += rsize
-	h.liveBytes += rsize
-	if h.liveBytes > h.peakLiveBytes {
-		h.peakLiveBytes = h.liveBytes
-	}
 }
 
 // Free releases the allocation at addr. Freeing an unknown address is an
-// error (the double-free / invalid-free of the temporal-safety model).
+// error (the double-free / invalid-free of the temporal-safety model)
+// under the capability ABIs, where CheriBSD's allocator revokes and
+// detects it; under hybrid the second free of a block already sitting on a
+// free list is silently tolerated, duplicating the free-list entry exactly
+// like glibc's classic fastbin-dup — two later allocations of the size
+// class then alias the same memory.
 func (h *Heap) Free(addr uint64) error {
 	rsize, ok := h.live[addr]
 	if !ok {
+		if !h.abi.PointersAreCapabilities() {
+			for size, fl := range h.free {
+				for _, a := range fl {
+					if a == addr {
+						h.free[size] = append(fl, addr)
+						h.frees++
+						return nil
+					}
+				}
+			}
+		}
 		return fmt.Errorf("alloc: invalid free of %#x", addr)
 	}
 	delete(h.live, addr)

@@ -66,16 +66,51 @@ func TestFreeAndReuse(t *testing.T) {
 }
 
 func TestInvalidFree(t *testing.T) {
-	h := newHeap(abi.Hybrid)
-	if err := h.Free(0xdead); err == nil {
-		t.Fatal("invalid free accepted")
+	// A never-allocated address is an invalid free under every ABI.
+	for _, a := range abi.All() {
+		h := newHeap(a)
+		if err := h.Free(0xdead); err == nil {
+			t.Fatalf("%s: invalid free accepted", a)
+		}
 	}
-	a, _ := h.Alloc(64)
-	if err := h.Free(a); err != nil {
+	// Double free is detected under the capability ABIs only; hybrid
+	// tolerates it like glibc's fastbin path (see TestHybridDoubleFreeAliases).
+	for _, a := range []abi.ABI{abi.Benchmark, abi.Purecap} {
+		h := newHeap(a)
+		p, _ := h.Alloc(64)
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Free(p); err == nil {
+			t.Fatalf("%s: double free accepted", a)
+		}
+	}
+}
+
+func TestHybridDoubleFreeAliases(t *testing.T) {
+	h := newHeap(abi.Hybrid)
+	p, _ := h.Alloc(64)
+	if err := h.Free(p); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Free(a); err == nil {
-		t.Fatal("double free accepted")
+	if err := h.Free(p); err != nil {
+		t.Fatalf("hybrid double free rejected: %v", err)
+	}
+	// The duplicated free-list entry hands the same block out twice.
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	if a != p || b != p {
+		t.Fatalf("fastbin dup not reproduced: got %#x, %#x, want both %#x", a, b, p)
+	}
+	// Index and byte accounting stay single-entry for the aliased block.
+	if h.LiveCount() != 1 {
+		t.Fatalf("LiveCount = %d, want 1", h.LiveCount())
+	}
+	if got := h.Stats().LiveBytes; got != 64 {
+		t.Fatalf("LiveBytes = %d, want 64", got)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatalf("free of aliased block: %v", err)
 	}
 }
 

@@ -1,0 +1,298 @@
+// Package attacks implements the memory-safety attack corpus behind the
+// security experiment: deterministic spatial and temporal violation
+// kernels written as ordinary workloads, each paired with a
+// machine-checkable expected-outcome spec per ABI. The corpus turns the
+// paper's Appendix Table 5 asymmetry — hybrid ABI binaries survive
+// violations that the capability ABIs trap — into a regression oracle:
+// purecap and purecap-benchmark must trap with the right fault kind, and a
+// hybrid run that "survives" is classified as clean or silently corrupted
+// by a canary checksum witness, never by assumption.
+//
+// Every attack plants a seeded pseudo-random canary pattern over a victim
+// region before violating, and publishes the region's coordinates in an
+// unmodeled descriptor mailbox outside the heap. After the run, CheckCanary
+// re-derives the expected stream from the seed alone and compares it
+// word-by-word against memory, so "survived but corrupted" is witnessed
+// from the machine's actual state.
+package attacks
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/workloads"
+)
+
+// Prefix namespaces the corpus inside the workloads registry: attack
+// workloads are registered as "attack:<name>" and hidden from All().
+const Prefix = "attack:"
+
+// The canary descriptor mailbox lives between the text and heap segments,
+// outside every modeled region, and is accessed via unmodeled raw memory
+// reads/writes: it is simulation bookkeeping (how the witness finds the
+// canary), not program behaviour, so it must not perturb counters or
+// capability checks.
+const (
+	mailboxBase  = 0x0000_0030_0000_0000
+	mailboxWords = mailboxBase + 8
+	mailboxSeed  = mailboxBase + 16
+)
+
+// canaryWord advances the splitmix64 stream the canary pattern is drawn
+// from. The witness re-derives the same stream from the seed alone.
+func canaryWord(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// plantCanary allocates a fresh victim region of the given word count,
+// fills it with the seeded pattern through modeled stores, and publishes
+// its descriptor. Under hybrid the allocation comes from the same
+// free-list/bump allocator the attack manipulates, which is what lets
+// use-after-free and double-free attacks land on it.
+func plantCanary(m *core.Machine, words, seed uint64) core.Ptr {
+	base := m.Alloc(words * 8)
+	plantCanaryAt(m, base, words, seed)
+	return base
+}
+
+// plantCanaryAt plants the pattern over an existing region (used by the
+// sub-object attack, whose victim field lives inside the attacker's own
+// allocation).
+func plantCanaryAt(m *core.Machine, base core.Ptr, words, seed uint64) {
+	s := seed
+	for i := uint64(0); i < words; i++ {
+		m.Store(base+core.Ptr(i*8), canaryWord(&s), 8)
+	}
+	m.Mem.WriteUint(mailboxBase, uint64(base), 8)
+	m.Mem.WriteUint(mailboxWords, words, 8)
+	m.Mem.WriteUint(mailboxSeed, seed, 8)
+}
+
+// CheckCanary is the corruption witness: it reads the descriptor mailbox,
+// re-derives the expected pattern from the seed, and compares it against
+// the canary region word by word. It is every attack workload's Canary
+// hook, invoked on the machine after the body finishes normally or by
+// fault.
+func CheckCanary(m *core.Machine) workloads.CanaryReport {
+	words := m.Mem.ReadUint(mailboxWords, 8)
+	if words == 0 {
+		return workloads.CanaryReport{}
+	}
+	base := m.Mem.ReadUint(mailboxBase, 8)
+	seed := m.Mem.ReadUint(mailboxSeed, 8)
+	r := workloads.CanaryReport{Planted: true, Intact: true, Base: base, Words: words, Seed: seed}
+	s := seed
+	for i := uint64(0); i < words; i++ {
+		want := canaryWord(&s)
+		got := m.Mem.ReadUint(base+i*8, 8)
+		r.WantSum += want
+		r.GotSum += got
+		if got != want {
+			if r.BadWords == 0 {
+				r.FirstBad = i * 8
+			}
+			r.BadWords++
+			r.Intact = false
+		}
+	}
+	return r
+}
+
+// OutcomeKind is the coarse classification of one attack run.
+type OutcomeKind int
+
+const (
+	// SurviveClean: the run finished without a fault and the canary
+	// witness found the victim region intact.
+	SurviveClean OutcomeKind = iota
+	// SurviveCorrupted: the run finished without a fault but the witness
+	// found canary words overwritten — the silent corruption the hybrid
+	// ABI permits.
+	SurviveCorrupted
+	// Trap: the run died on a simulated in-address-space security
+	// exception (core.Fault).
+	Trap
+	// Aborted: the run failed some other way (panic, deadline, missing
+	// witness) — never expected, always a divergence.
+	Aborted
+)
+
+// Outcome is the classified result of one attack run under one ABI.
+type Outcome struct {
+	Kind OutcomeKind
+	// Fault is the fault-kind for Trap outcomes.
+	Fault core.FaultKind
+	// Detail carries the abort reason for Aborted outcomes.
+	Detail string
+}
+
+// String renders the outcome the way the verdict matrix prints it.
+func (o Outcome) String() string {
+	switch o.Kind {
+	case SurviveClean:
+		return "clean"
+	case SurviveCorrupted:
+		return "corrupted"
+	case Trap:
+		return fmt.Sprintf("trap(%s)", o.Fault)
+	default:
+		if o.Detail != "" {
+			return fmt.Sprintf("aborted(%s)", o.Detail)
+		}
+		return "aborted"
+	}
+}
+
+// Expect is the machine-checkable expected-outcome spec for one attack
+// under one ABI.
+type Expect struct {
+	Outcome Outcome
+	// MinTrapUops, for Trap expectations, is the minimum µop position of
+	// the fault: every kernel performs its realistic dressing work before
+	// violating, so a trap inside that window means the kernel died early
+	// for the wrong reason.
+	MinTrapUops uint64
+}
+
+// Classify maps a run's error and canary witness onto an Outcome. A fault
+// is a Trap of that fault's kind; any other error is Aborted; a fault-free
+// run is SurviveClean or SurviveCorrupted strictly according to the
+// witness — a missing or unplanted witness aborts rather than guessing.
+func Classify(err error, w *workloads.CanaryReport) Outcome {
+	if err != nil {
+		var f *core.Fault
+		if errors.As(err, &f) {
+			return Outcome{Kind: Trap, Fault: f.Kind}
+		}
+		return Outcome{Kind: Aborted, Detail: err.Error()}
+	}
+	if w == nil || !w.Planted {
+		return Outcome{Kind: Aborted, Detail: "no canary witness"}
+	}
+	if w.Intact {
+		return Outcome{Kind: SurviveClean}
+	}
+	return Outcome{Kind: SurviveCorrupted}
+}
+
+// Attack pairs one corpus workload with its per-ABI expected outcomes.
+type Attack struct {
+	// Name is the short attack name (e.g. "oob-write"); the registered
+	// workload is Prefix+Name.
+	Name string
+	// CWE is the Common Weakness Enumeration class the attack models.
+	CWE string
+	// Desc is a one-line description.
+	Desc string
+	// Configure adjusts the machine configuration per ABI before the run
+	// (the temporal attacks enable quarantine under the capability ABIs,
+	// modeling a Cornucopia-hardened allocator).
+	Configure func(cfg *core.Config)
+	// Workload is the registered kernel.
+	Workload *workloads.Workload
+
+	expect map[abi.ABI]Expect
+}
+
+// Expect returns the expected-outcome spec for the given ABI.
+func (a *Attack) Expect(ab abi.ABI) Expect { return a.expect[ab] }
+
+// Check compares a classified outcome against the spec and reports whether
+// it matches, with a human-readable detail when it does not.
+func (a *Attack) Check(ab abi.ABI, got Outcome, uops uint64) (ok bool, detail string) {
+	want := a.expect[ab]
+	if got.Kind != want.Outcome.Kind {
+		return false, fmt.Sprintf("want %s, got %s", want.Outcome, got)
+	}
+	if got.Kind == Trap {
+		if got.Fault != want.Outcome.Fault {
+			return false, fmt.Sprintf("want %s, got %s", want.Outcome, got)
+		}
+		if uops < want.MinTrapUops {
+			return false, fmt.Sprintf("trapped at µop %d, before the %d-µop dressing window", uops, want.MinTrapUops)
+		}
+	}
+	return true, ""
+}
+
+var corpus = map[string]*Attack{}
+
+func registerAttack(a *Attack) {
+	if _, dup := corpus[a.Name]; dup {
+		panic(fmt.Sprintf("attacks: duplicate %q", a.Name))
+	}
+	for _, ab := range abi.All() {
+		if _, ok := a.expect[ab]; !ok {
+			panic(fmt.Sprintf("attacks: %q has no expectation for %s", a.Name, ab))
+		}
+	}
+	a.Workload.Name = Prefix + a.Name
+	a.Workload.Canary = CheckCanary
+	workloads.RegisterAttack(a.Workload)
+	corpus[a.Name] = a
+}
+
+// Names returns the attack names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(corpus))
+	for n := range corpus {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the corpus in name order.
+func All() []*Attack {
+	var out []*Attack
+	for _, n := range Names() {
+		out = append(out, corpus[n])
+	}
+	return out
+}
+
+// ByName resolves one attack by its short name.
+func ByName(name string) (*Attack, error) {
+	a, ok := corpus[name]
+	if !ok {
+		return nil, fmt.Errorf("attacks: unknown attack %q (try one of %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Select resolves a list of attack names into corpus order. An empty list
+// selects the whole corpus. Empty segments (stray commas in the flag the
+// list came from) and unknown names are rejected with the offending
+// segment named — selection mistakes must not silently shrink a security
+// gate.
+func Select(names []string) ([]*Attack, error) {
+	if len(names) == 0 {
+		return All(), nil
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("attacks: empty attack name in segment %d of %v (stray comma?)", i+1, names)
+		}
+		if _, err := ByName(n); err != nil {
+			return nil, err
+		}
+		seen[n] = true
+	}
+	var out []*Attack
+	for _, n := range Names() {
+		if seen[n] {
+			out = append(out, corpus[n])
+		}
+	}
+	return out, nil
+}

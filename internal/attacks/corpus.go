@@ -1,0 +1,368 @@
+package attacks
+
+import (
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/workloads"
+)
+
+// This file implements the ten attack kernels. Each follows the same
+// shape: realistic dressing work first (the loops a vulnerable program
+// would run before reaching its bug), then the canary plant, then the
+// violation. The dressing keeps trap positions away from µop zero — the
+// MinTrapUops window in each spec asserts the capability ABIs died at the
+// violation, not during setup — and exercises the same Load/Store/ALU/
+// branch mix as the benchmark workloads so the attacks run under every
+// machine configuration the session can apply.
+
+// rng is the same xorshift64* generator the workloads package uses;
+// attacks must stay deterministic under a fixed seed.
+type rng uint64
+
+func newRNG(seed uint64) *rng {
+	r := rng(seed*2685821657736338717 + 1)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 2685821657736338717
+}
+
+// trapKinds is shorthand for the common "hybrid survives, both capability
+// ABIs trap identically" expectation shape.
+func trapKinds(hybrid Outcome, kind core.FaultKind, minUops uint64) map[abi.ABI]Expect {
+	return map[abi.ABI]Expect{
+		abi.Hybrid:    {Outcome: hybrid},
+		abi.Benchmark: {Outcome: Outcome{Kind: Trap, Fault: kind}, MinTrapUops: minUops},
+		abi.Purecap:   {Outcome: Outcome{Kind: Trap, Fault: kind}, MinTrapUops: minUops},
+	}
+}
+
+// temporalHardened enables Cornucopia-style quarantine under the
+// capability ABIs only: freed memory is never reallocated while
+// capabilities to it may be live, so a dangling dereference finds no owner
+// and tag-faults. Hybrid keeps the plain reusing allocator — that reuse is
+// exactly what its silent corruption rides on.
+func temporalHardened(cfg *core.Config) {
+	if cfg.ABI.PointersAreCapabilities() {
+		cfg.TemporalSafety = true
+	}
+}
+
+// dress runs the shared setup workload: a scratch table walked with
+// data-dependent loads, stores and branches, scaled like every benchmark
+// kernel.
+func dress(m *core.Machine, r *rng, scale int) {
+	const words = 128
+	tab := m.Alloc(words * 8)
+	for i := uint64(0); i < words; i++ {
+		m.Store(tab+core.Ptr(i*8), r.next(), 8)
+	}
+	for pass := 0; pass < 2*scale; pass++ {
+		idx := uint64(0)
+		for i := 0; i < 192; i++ {
+			v := m.LoadDep(tab+core.Ptr(idx*8), 8)
+			idx = v % words
+			m.ALU(3)
+			m.BranchAt(3001, v&1 == 0)
+		}
+		m.Store(tab+core.Ptr(idx*8), r.next(), 8)
+		m.BranchAt(3002, pass&1 == 0)
+	}
+}
+
+// minTrapUops is the dressing window every Trap expectation asserts: each
+// kernel retires well over this many µops before violating.
+const minTrapUops = 256
+
+func init() {
+	// oob-read (CWE-125): a summation loop reads past its array's bounds
+	// into the adjacent canary allocation. Reads corrupt nothing, so
+	// hybrid survives clean; the capability ABIs fault the first
+	// out-of-bounds dereference on the array's bounds.
+	registerAttack(&Attack{
+		Name:   "oob-read",
+		CWE:    "CWE-125",
+		Desc:   "out-of-bounds read past array into neighbor allocation",
+		expect: trapKinds(Outcome{Kind: SurviveClean}, core.KindBounds, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "OOB read (CWE-125)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_oob_read", 1024, 128)
+				r := newRNG(0xa1)
+				dress(m, r, scale)
+				const n = 64
+				arr := m.Alloc(n * 8)
+				for i := uint64(0); i < n; i++ {
+					m.Store(arr+core.Ptr(i*8), r.next()%1000, 8)
+				}
+				plantCanary(m, 16, 0xc0ffee01)
+				var sum uint64
+				// The bug: the loop bound is n+16, not n.
+				for i := uint64(0); i < n+16; i++ {
+					sum += m.LoadVia(arr, arr+core.Ptr(i*8), 8)
+					m.ALU(1)
+					m.BranchAt(3101, i+1 < n+16)
+				}
+				m.Store(arr, sum, 8)
+			},
+		},
+	})
+
+	// oob-write (CWE-787): a fill loop overruns its buffer and writes
+	// into the adjacent canary allocation.
+	registerAttack(&Attack{
+		Name:   "oob-write",
+		CWE:    "CWE-787",
+		Desc:   "out-of-bounds write into neighbor allocation",
+		expect: trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindBounds, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "OOB write (CWE-787)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_oob_write", 1024, 128)
+				r := newRNG(0xa2)
+				dress(m, r, scale)
+				const n = 32
+				buf := m.Alloc(n * 8)
+				plantCanary(m, 16, 0xc0ffee02)
+				// The bug: the fill runs to n+4.
+				for i := uint64(0); i < n+4; i++ {
+					m.StoreVia(buf, buf+core.Ptr(i*8), r.next(), 8)
+					m.BranchAt(3201, i+1 < n+4)
+				}
+			},
+		},
+	})
+
+	// uaf (CWE-416): a block is freed, the canary reallocates the same
+	// memory (hybrid's reusing free list), and a dangling pointer writes
+	// through it. With quarantine the capability ABIs find the freed
+	// block unowned and tag-fault.
+	registerAttack(&Attack{
+		Name:      "uaf",
+		CWE:       "CWE-416",
+		Desc:      "use-after-free write through dangling pointer",
+		Configure: temporalHardened,
+		expect:    trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindTag, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "use after free (CWE-416)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_uaf", 1024, 128)
+				r := newRNG(0xa3)
+				dress(m, r, scale)
+				p := m.Alloc(256)
+				for i := uint64(0); i < 32; i++ {
+					m.StoreVia(p, p+core.Ptr(i*8), r.next(), 8)
+				}
+				m.Free(p)
+				plantCanary(m, 32, 0xc0ffee03) // reuses p's memory under hybrid
+				m.StoreVia(p, p+16, r.next(), 8)
+				m.StoreVia(p, p+24, r.next(), 8)
+			},
+		},
+	})
+
+	// double-free (CWE-415): freeing the same block twice. The capability
+	// ABIs' allocator detects it and faults; hybrid duplicates the
+	// free-list entry (fastbin dup), so the attacker's next allocation
+	// aliases the victim canary allocated after it.
+	registerAttack(&Attack{
+		Name:   "double-free",
+		CWE:    "CWE-415",
+		Desc:   "double free duplicating a free-list entry (fastbin dup)",
+		expect: trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindAlloc, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "double free (CWE-415)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_double_free", 1024, 128)
+				r := newRNG(0xa4)
+				dress(m, r, scale)
+				p := m.Alloc(192)
+				for i := uint64(0); i < 24; i++ {
+					m.StoreVia(p, p+core.Ptr(i*8), r.next(), 8)
+				}
+				m.Free(p)
+				m.Free(p) // capability ABIs trap here
+				attacker := m.Alloc(192)
+				plantCanary(m, 24, 0xc0ffee04) // pops the duplicate: aliases attacker
+				m.StoreVia(attacker, attacker+16, r.next(), 8)
+			},
+		},
+	})
+
+	// subobject (CWE-787, intra-allocation): a fixed-size header array
+	// inside a record overflows into the sibling field holding the
+	// canary. Every byte stays inside the allocation's bounds, so even
+	// purecap's per-allocation capabilities admit it — the corpus's
+	// negative control: all three ABIs silently corrupt, and only the
+	// canary witness notices. (Sub-object bounds, which CHERI supports
+	// but Morello toolchains leave off by default, would catch it.)
+	registerAttack(&Attack{
+		Name: "subobject",
+		CWE:  "CWE-787",
+		Desc: "intra-allocation overflow into a sibling field (sub-object bounds off)",
+		expect: map[abi.ABI]Expect{
+			abi.Hybrid:    {Outcome: Outcome{Kind: SurviveCorrupted}},
+			abi.Benchmark: {Outcome: Outcome{Kind: SurviveCorrupted}},
+			abi.Purecap:   {Outcome: Outcome{Kind: SurviveCorrupted}},
+		},
+		Workload: &workloads.Workload{
+			Desc: "sub-object overflow (CWE-787)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_subobject", 1024, 128)
+				r := newRNG(0xa5)
+				dress(m, r, scale)
+				// Record: 4-word header array + 8-word sibling field.
+				rec := m.Alloc(96)
+				plantCanaryAt(m, rec+32, 8, 0xc0ffee05)
+				// The bug: the header fill runs to 8 entries, not 4.
+				for i := uint64(0); i < 8; i++ {
+					m.StoreVia(rec, rec+core.Ptr(i*8), r.next(), 8)
+					m.BranchAt(3501, i+1 < 8)
+				}
+			},
+		},
+	})
+
+	// forge-ptr (CWE-587): a pointer value round-trips through a plain
+	// integer slot and is dereferenced. The integer store wrote no tag,
+	// so the capability ABIs fault the reload; hybrid happily follows the
+	// forged address into the canary.
+	registerAttack(&Attack{
+		Name:   "forge-ptr",
+		CWE:    "CWE-587",
+		Desc:   "pointer forged through an integer store, then dereferenced",
+		expect: trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindTag, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "forged pointer (CWE-587)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_forge_ptr", 1024, 128)
+				r := newRNG(0xa6)
+				dress(m, r, scale)
+				canary := plantCanary(m, 8, 0xc0ffee06)
+				slot := m.Alloc(16)
+				m.Store(slot, uint64(canary)+24, 8) // integer store of an address
+				fp := m.LoadPtrChecked(slot)        // capability ABIs: tag fault
+				m.Store(fp, r.next(), 8)
+			},
+		},
+	})
+
+	// cap-overwrite (CWE-123): a plain data store overwrites memory that
+	// holds a pointer, redirecting it. The store clears the capability
+	// tag, so the victim's next pointer load faults under the capability
+	// ABIs; hybrid follows the attacker's address.
+	registerAttack(&Attack{
+		Name:   "cap-overwrite",
+		CWE:    "CWE-123",
+		Desc:   "capability overwritten by a plain data store, then dereferenced",
+		expect: trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindTag, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "capability overwrite (CWE-123)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_cap_overwrite", 1024, 128)
+				r := newRNG(0xa7)
+				dress(m, r, scale)
+				canary := plantCanary(m, 8, 0xc0ffee07)
+				nodeL := m.Layout(core.FieldPtr, core.FieldU64)
+				n := m.AllocRecord(nodeL)
+				m.StorePtr(nodeL.Field(n, 0), canary+8) // legitimate interior pointer
+				m.Store(nodeL.Field(n, 1), r.next(), 8)
+				// The attack: a plain 8-byte write redirects the pointer.
+				m.Store(nodeL.Field(n, 0), uint64(canary)+40, 8)
+				vp := m.LoadPtrChecked(nodeL.Field(n, 0)) // capability ABIs: tag fault
+				m.Store(vp, r.next(), 8)
+			},
+		},
+	})
+
+	// stack-smash (CWE-121): a linear fill overruns a fixed-size frame
+	// buffer into the adjacent canary (the saved-state region in a real
+	// smash), modeled on the heap where per-allocation bounds apply.
+	registerAttack(&Attack{
+		Name:   "stack-smash",
+		CWE:    "CWE-121",
+		Desc:   "linear overflow of a fixed-size frame buffer",
+		expect: trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindBounds, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "stack smash (CWE-121)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_stack_smash", 1024, 128)
+				r := newRNG(0xa8)
+				dress(m, r, scale)
+				frame := m.Alloc(64)
+				plantCanary(m, 8, 0xc0ffee08) // adjacent: the smashed region
+				// The bug: the memset-style fill writes 12 words into 8.
+				for i := uint64(0); i < 12; i++ {
+					m.StoreVia(frame, frame+core.Ptr(i*8), r.next(), 8)
+					m.BranchAt(3801, i+1 < 12)
+				}
+			},
+		},
+	})
+
+	// off-by-one (CWE-193): the classic one-byte overwrite just past the
+	// buffer — into the allocator's next block, here the canary's first
+	// byte.
+	registerAttack(&Attack{
+		Name:   "off-by-one",
+		CWE:    "CWE-193",
+		Desc:   "one-byte write just past the buffer into the next allocation",
+		expect: trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindBounds, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "off-by-one (CWE-193)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_off_by_one", 1024, 128)
+				r := newRNG(0xa9)
+				dress(m, r, scale)
+				buf := m.Alloc(48)
+				plantCanary(m, 8, 0xc0ffee09) // adjacent under hybrid
+				for i := uint64(0); i < 48; i++ {
+					m.StoreVia(buf, buf+core.Ptr(i), uint64(byte(r.next())), 1)
+				}
+				// The bug: a NUL-terminator-style write at index 48.
+				m.StoreVia(buf, buf+48, 0, 1)
+			},
+		},
+	})
+
+	// realloc-uaf (CWE-825): a grow-and-move realloc sequence leaves a
+	// stale pointer to the old block; the canary reallocates that memory
+	// and the stale pointer writes through it.
+	registerAttack(&Attack{
+		Name:      "realloc-uaf",
+		CWE:       "CWE-825",
+		Desc:      "stale pointer used after a moving realloc",
+		Configure: temporalHardened,
+		expect:    trapKinds(Outcome{Kind: SurviveCorrupted}, core.KindTag, minTrapUops),
+		Workload: &workloads.Workload{
+			Desc: "dangling pointer after realloc (CWE-825)",
+			Run: func(m *core.Machine, scale int) {
+				m.Func("attack_realloc_uaf", 1024, 128)
+				r := newRNG(0xaa)
+				dress(m, r, scale)
+				old := m.Alloc(128)
+				for i := uint64(0); i < 16; i++ {
+					m.StoreVia(old, old+core.Ptr(i*8), r.next(), 8)
+				}
+				// realloc(old, 256): allocate, copy, free.
+				grown := m.Alloc(256)
+				for i := uint64(0); i < 16; i++ {
+					v := m.LoadVia(old, old+core.Ptr(i*8), 8)
+					m.StoreVia(grown, grown+core.Ptr(i*8), v, 8)
+				}
+				m.Free(old)
+				stale := old
+				plantCanary(m, 16, 0xc0ffee0a) // reuses old's memory under hybrid
+				m.StoreVia(grown, grown+128, r.next(), 8)
+				// The bug: one code path still holds the pre-realloc pointer.
+				m.StoreVia(stale, stale+8, r.next(), 8)
+			},
+		},
+	})
+}

@@ -22,6 +22,11 @@ type Experiment struct {
 	// pool before rendering. Nil means the experiment needs no session
 	// measurements (or manages its own machines).
 	Pairs func() []Pair
+	// Manual marks experiments that run only when named explicitly
+	// (-run <id>), never as part of the -all campaign: the security
+	// experiment is a gate with its own exit semantics, not a paper
+	// artefact, and must leave campaign output untouched.
+	Manual bool
 }
 
 // UnionPairs returns the deduplicated union of the given experiments'
@@ -61,10 +66,10 @@ type RenderError struct {
 // and the ones that fail are collected — not fatal — so one crashed or
 // injected-away measurement cannot abort the rest of the campaign.
 func RenderAll(s *Session, out io.Writer) []RenderError {
-	s.Prefetch(UnionPairs(All()))
+	s.Prefetch(UnionPairs(Renderable()))
 	obs := s.campaignObserver()
 	var failed []RenderError
-	for _, e := range All() {
+	for _, e := range Renderable() {
 		sp := obs.experimentSpan(e)
 		txt, err := e.Run(s)
 		obs.experimentEnd(sp, e, err)
@@ -111,6 +116,18 @@ func All() []*Experiment {
 	var out []*Experiment
 	for _, id := range ids {
 		out = append(out, registry[id])
+	}
+	return out
+}
+
+// Renderable returns the experiments the -all campaign runs, in All()
+// order: everything except the Manual gates.
+func Renderable() []*Experiment {
+	var out []*Experiment
+	for _, e := range All() {
+		if !e.Manual {
+			out = append(out, e)
+		}
 	}
 	return out
 }

@@ -41,6 +41,11 @@ type RunData struct {
 	// Injected lists the fault injections performed during the final
 	// attempt (nil when the session runs without chaos).
 	Injected []faultinject.Event
+	// Witness is the corruption witness of an attack-corpus run: the
+	// workload's Canary hook re-derives the seeded checksum over the
+	// canary region the kernel planted (nil for workloads without one).
+	// See internal/attacks.
+	Witness *workloads.CanaryReport
 	// hasMachine records whether a machine produced Counters/Heap/Uops (a
 	// panic before machine construction leaves them zero without one); the
 	// result store needs the distinction to round-trip failed runs.
@@ -114,6 +119,11 @@ type Session struct {
 	// every event. The -no-replay flag disables the fast path globally via
 	// SetReplayEnabled instead.
 	NoReplay bool
+
+	// Attacks, when non-empty, restricts the security experiment to the
+	// named attack-corpus entries (see internal/attacks). Other
+	// experiments ignore it.
+	Attacks []string
 
 	// Check, when true, runs every measurement under the lockstep
 	// reference-model harness: each machine's caches and TLBs get a naive
@@ -344,14 +354,18 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 	supervised := s.Chaos != nil || s.DeadlineUops > 0
 
 	// Record-and-replay fast path (internal/replay): unsupervised,
-	// uncheckered runs replay a previously recorded event stream for the
-	// same (workload, ABI, scale, heap-shaping) key — bit-identical
+	// uncheckered runs of non-Live workloads replay a previously recorded
+	// event stream for the same (workload, ABI, scale, heap-shaping) key — bit-identical
 	// counters without interpreting the kernel. Recording is demand-driven
 	// (see replay.Cache): a key's second miss proves the campaign
 	// re-requests it (ablation sessions re-measuring the grid under
 	// modified timing models), so that execution records its stream and
 	// every later request replays.
-	fast := s.replayEligible() && !supervised
+	// Live workloads (the attack corpus) never record or replay: their
+	// kernels trap mid-run under some ABIs and their machines carry
+	// post-run state (the canary witness) that a replayed stream would
+	// not reproduce.
+	fast := s.replayEligible() && !supervised && !w.Live
 	var rkey replay.Key
 	var record bool
 	if fast {
@@ -433,7 +447,12 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 	if inj != nil {
 		injected = inj.Events()
 	}
-	return runDataOf(m, err, injected)
+	d := runDataOf(m, err, injected)
+	if w.Canary != nil && m != nil {
+		wr := w.Canary(m)
+		d.Witness = &wr
+	}
+	return d
 }
 
 // runDataOf assembles the retained outcome of one execution (live or

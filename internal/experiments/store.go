@@ -94,7 +94,7 @@ func (s *Session) saveRun(key resultstore.Key, d *RunData) {
 	if s.Store == nil {
 		return
 	}
-	e := &resultstore.Entry{Key: key, Attempts: d.Attempts, Injected: d.Injected}
+	e := &resultstore.Entry{Key: key, Attempts: d.Attempts, Injected: d.Injected, Witness: d.Witness}
 	fillCoreResult(&e.CoreResult, &d.Counters, d.Heap, d.Uops, d.Err, d.hasMachine, nil)
 	_ = s.Store.Save(e)
 }
@@ -118,6 +118,7 @@ func runDataFromEntry(e *resultstore.Entry) *RunData {
 	d := &RunData{
 		Attempts: e.Attempts,
 		Injected: e.Injected,
+		Witness:  e.Witness,
 		Err:      e.Error.Reconstruct(),
 	}
 	if c, ok := e.CountersFile(); ok {

@@ -69,17 +69,20 @@ func AllKinds() []Kind {
 }
 
 // ParseKinds resolves a comma-separated kind list ("tag-clear,perm-drop"),
-// accepting "all" for the full set. Unknown names are an error.
+// accepting "all" for the full set. Unknown names are an error, and so are
+// empty segments (trailing commas, ",," typos): a chaos campaign asked to
+// inject "tag-clear," must not silently run a different kind set than the
+// flag says.
 func ParseKinds(s string) ([]Kind, error) {
 	if strings.TrimSpace(s) == "all" {
 		return AllKinds(), nil
 	}
 	var out []Kind
 	seen := map[Kind]bool{}
-	for _, part := range strings.Split(s, ",") {
+	for i, part := range strings.Split(s, ",") {
 		name := strings.TrimSpace(part)
 		if name == "" {
-			continue
+			return nil, fmt.Errorf("faultinject: empty fault-kind in segment %d of %q (stray comma?)", i+1, s)
 		}
 		found := false
 		for i, kn := range kindNames {
@@ -95,9 +98,6 @@ func ParseKinds(s string) ([]Kind, error) {
 		if !found {
 			return nil, fmt.Errorf("faultinject: unknown fault kind %q (have all, %s)", name, strings.Join(kindNames[:], ", "))
 		}
-	}
-	if len(out) == 0 {
-		return nil, errors.New("faultinject: empty fault-kind list")
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"cherisim/internal/abi"
@@ -11,25 +12,45 @@ import (
 )
 
 func TestParseKinds(t *testing.T) {
-	all, err := ParseKinds("all")
-	if err != nil || !reflect.DeepEqual(all, AllKinds()) {
-		t.Fatalf(`ParseKinds("all") = %v, %v`, all, err)
+	cases := []struct {
+		name    string
+		spec    string
+		want    []Kind
+		wantErr string // substring of the error, empty for success
+	}{
+		{name: "all", spec: "all", want: AllKinds()},
+		{name: "all padded", spec: " all ", want: AllKinds()},
+		{name: "single", spec: "tag-clear", want: []Kind{KindTagClear}},
+		{name: "dedup keeps first occurrence", spec: "perm-drop,tag-clear,perm-drop",
+			want: []Kind{KindPermDrop, KindTagClear}},
+		{name: "padded segments", spec: " tag-clear , bounds-truncate ",
+			want: []Kind{KindTagClear, KindBoundsTruncate}},
+		{name: "unknown kind", spec: "tag-clear,bogus", wantErr: `unknown fault kind "bogus"`},
+		{name: "empty spec", spec: "", wantErr: "segment 1"},
+		{name: "blank segments", spec: " , ", wantErr: "segment 1"},
+		{name: "trailing comma", spec: "tag-clear,", wantErr: "segment 2"},
+		{name: "leading comma", spec: ",tag-clear", wantErr: "segment 1"},
+		{name: "doubled comma", spec: "tag-clear,,perm-drop", wantErr: "segment 2"},
 	}
-	got, err := ParseKinds("perm-drop,tag-clear,perm-drop")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := []Kind{KindPermDrop, KindTagClear}; !reflect.DeepEqual(got, want) {
-		t.Fatalf("dedup list = %v, want %v", got, want)
-	}
-	if _, err := ParseKinds("tag-clear,bogus"); err == nil {
-		t.Fatal("unknown kind accepted")
-	}
-	if _, err := ParseKinds(""); err == nil {
-		t.Fatal("empty spec accepted")
-	}
-	if _, err := ParseKinds(" , "); err == nil {
-		t.Fatal("blank spec accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseKinds(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseKinds(%q) = %v, want error containing %q", tc.spec, got, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseKinds(%q) error = %q, want substring %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseKinds(%q): %v", tc.spec, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseKinds(%q) = %v, want %v", tc.spec, got, tc.want)
+			}
+		})
 	}
 }
 

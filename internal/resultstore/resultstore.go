@@ -36,6 +36,7 @@ import (
 	"cherisim/internal/faultinject"
 	"cherisim/internal/pmu"
 	"cherisim/internal/soc"
+	"cherisim/internal/workloads"
 )
 
 // format is the on-disk envelope identifier; bump on layout changes.
@@ -215,6 +216,10 @@ type Entry struct {
 	Injected []faultinject.Event `json:"injected,omitempty"`
 	// Cores holds the per-core results of a co-run unit.
 	Cores []CoreResult `json:"cores,omitempty"`
+	// Witness is the corruption witness of an attack-corpus run (see
+	// internal/attacks); warm security verdicts must reproduce the cold
+	// run's canary mismatch detail exactly.
+	Witness *workloads.CanaryReport `json:"witness,omitempty"`
 }
 
 // valid performs the structural checks a load must pass beyond the

@@ -12,6 +12,7 @@ import (
 	"cherisim/internal/core"
 	"cherisim/internal/faultinject"
 	"cherisim/internal/pmu"
+	"cherisim/internal/workloads"
 )
 
 func testKey(name string) Key {
@@ -104,6 +105,41 @@ func TestErrorRoundTrip(t *testing.T) {
 	}
 	if EncodeError(nil) != nil || (*StoredError)(nil).Reconstruct() != nil {
 		t.Error("nil error did not round-trip to nil")
+	}
+}
+
+// TestWitnessRoundTrip pins the security gate's warm-cache property: a
+// stored attack run's canary witness — including the mismatch detail of a
+// silently corrupted survival — loads back exactly, and entries without
+// one stay nil.
+func TestWitnessRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry("attack:uaf")
+	want.Witness = &workloads.CanaryReport{
+		Planted: true, Intact: false,
+		Base: 0x40_0000_1000, Words: 32, Seed: 0xc0ffee03,
+		WantSum: 111, GotSum: 222, BadWords: 2, FirstBad: 16,
+	}
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(want.Key)
+	if !ok {
+		t.Fatal("saved entry did not load")
+	}
+	if got.Witness == nil || *got.Witness != *want.Witness {
+		t.Fatalf("witness drifted: got %+v want %+v", got.Witness, want.Witness)
+	}
+
+	plain := testEntry("no-witness")
+	if err := s.Save(plain); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load(plain.Key); !ok || got.Witness != nil {
+		t.Fatalf("witness appeared from nowhere: %+v", got.Witness)
 	}
 }
 

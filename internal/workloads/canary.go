@@ -1,0 +1,32 @@
+package workloads
+
+// CanaryReport is the corruption witness an attack workload's Canary hook
+// produces after a run (see internal/attacks). The attack body plants a
+// seeded pseudo-random pattern over a victim region and records the
+// region's coordinates in an unmodeled descriptor mailbox; the hook
+// re-derives the expected stream from the seed alone and compares it
+// word-by-word against what the run left in memory. Intact=false is
+// therefore *witnessed* corruption — the oracle never infers it from the
+// attack's control flow.
+type CanaryReport struct {
+	// Planted reports whether the body got far enough to plant the canary
+	// and publish its descriptor. A run that trapped before planting has
+	// Planted=false and proves nothing about memory integrity.
+	Planted bool `json:"planted"`
+	// Intact is true when every canary word still matches the seeded
+	// stream.
+	Intact bool `json:"intact"`
+	// Base and Words locate the canary region (Words 8-byte words at Base).
+	Base  uint64 `json:"base"`
+	Words uint64 `json:"words"`
+	// Seed derives the expected pattern.
+	Seed uint64 `json:"seed"`
+	// WantSum and GotSum fold the expected and observed streams; they
+	// differ exactly when Intact is false.
+	WantSum uint64 `json:"wantSum"`
+	GotSum  uint64 `json:"gotSum"`
+	// BadWords counts mismatching words; FirstBad is the byte offset of
+	// the first mismatch relative to Base.
+	BadWords uint64 `json:"badWords,omitempty"`
+	FirstBad uint64 `json:"firstBad,omitempty"`
+}

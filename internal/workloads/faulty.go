@@ -113,7 +113,7 @@ func registerFaulty(w *Workload) {
 	faultyRegistry = append(faultyRegistry, w)
 	// Also resolvable by name so tools can run them and observe the fault.
 	registry[w.Name] = w
-	faultySet[w.Name] = true
+	hidden[w.Name] = true
 }
 
 // Faulty returns the Appendix Table 5 benchmarks that compile under every

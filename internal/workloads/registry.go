@@ -39,14 +39,28 @@ type Workload struct {
 	// (iteration counts); data-structure sizes are fixed so cache and TLB
 	// behaviour is scale-independent once warmed.
 	Run func(m *core.Machine, scale int)
+	// Live marks workloads that must execute their kernel on every run:
+	// the session excludes them from the record-and-replay fast path the
+	// same way supervised (chaos/deadline/check) runs are. Attack-corpus
+	// kernels are Live — they trap mid-run under some ABIs and their
+	// machines are inspected post-run, neither of which a replayed event
+	// stream can reproduce.
+	Live bool
+	// Canary, when set, is the workload's corruption witness: invoked on
+	// the machine after the body finishes (normally or by fault), it
+	// re-derives the seeded checksum over the canary region the body
+	// planted and reports whether that memory is intact. The report rides
+	// the run result and the persistent store. See internal/attacks.
+	Canary func(m *core.Machine) CanaryReport
 }
 
-// registry holds every workload keyed by name. faultySet marks the
-// Appendix Table 5 benchmarks that crash under the capability ABIs; they
-// resolve through ByName but are excluded from All().
+// registry holds every workload keyed by name. hidden marks entries that
+// resolve through ByName but are excluded from All()/Names(): the Appendix
+// Table 5 benchmarks that crash under the capability ABIs, and the attack
+// corpus (internal/attacks), which is run only by the security experiment.
 var (
-	registry  = map[string]*Workload{}
-	faultySet = map[string]bool{}
+	registry = map[string]*Workload{}
+	hidden   = map[string]bool{}
 )
 
 func register(w *Workload) *Workload {
@@ -54,6 +68,21 @@ func register(w *Workload) *Workload {
 		panic(fmt.Sprintf("workloads: duplicate %q", w.Name))
 	}
 	registry[w.Name] = w
+	return w
+}
+
+// RegisterAttack registers an attack-corpus workload (see
+// internal/attacks): resolvable through ByName and runnable by tools and
+// the security experiment, but excluded from All()/Names() so the paper's
+// campaign grid and every -all artefact are untouched. Attack workloads
+// must carry a Canary witness and are forced Live.
+func RegisterAttack(w *Workload) *Workload {
+	if w.Canary == nil {
+		panic(fmt.Sprintf("workloads: attack %q has no canary witness", w.Name))
+	}
+	w.Live = true
+	register(w)
+	hidden[w.Name] = true
 	return w
 }
 
@@ -67,11 +96,12 @@ func ByName(name string) (*Workload, error) {
 }
 
 // Names returns the runnable workload names, sorted (the crashing
-// Appendix Table 5 entries are excluded; see Faulty).
+// Appendix Table 5 entries and the attack corpus are excluded; see Faulty
+// and internal/attacks).
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
-		if !faultySet[n] {
+		if !hidden[n] {
 			out = append(out, n)
 		}
 	}
