@@ -56,12 +56,15 @@ import (
 	"runtime"
 	"strings"
 
+	"cherisim/internal/abi"
 	"cherisim/internal/attacks"
 	"cherisim/internal/experiments"
 	"cherisim/internal/faultinject"
 	"cherisim/internal/golden"
+	"cherisim/internal/profile"
 	"cherisim/internal/resultstore"
 	"cherisim/internal/telemetry"
+	"cherisim/internal/workloads"
 )
 
 func main() {
@@ -81,6 +84,10 @@ func main() {
 	retries := flag.Int("retries", 2, "bounded retries for transient injected faults")
 	attacksFlag := flag.String("attacks", "",
 		"comma-separated attack names restricting the security experiment (requires -run security)")
+	flameOut := flag.String("flame-out", "",
+		"write the hotspot profiles as folded flamegraph stacks to this file (requires -run hotspots)")
+	pprofOut := flag.String("pprof-out", "",
+		"write the hotspot profiles as a gzipped pprof protobuf to this file (requires -run hotspots)")
 	traceOut := flag.String("trace-out", "",
 		"write the campaign timeline as Chrome trace-event JSON (load at ui.perfetto.dev)")
 	httpAddr := flag.String("http", "",
@@ -115,6 +122,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
 		}
+	}
+	if (*flameOut != "" || *pprofOut != "") && *run != "hotspots" {
+		fmt.Fprintln(os.Stderr, "experiments: -flame-out/-pprof-out only apply to the hotspots experiment (use -run hotspots)")
+		os.Exit(2)
 	}
 	if err := baselineConfig(*baselinePath, *updateBaseline, *run); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -171,6 +182,13 @@ func main() {
 			s.Prefetch(e.Pairs())
 		}
 		out, err := e.Run(s)
+		if err == nil {
+			// Exports reuse the render's cached profiles: every ProfileRun
+			// below is a singleflight hit, no extra simulation.
+			if xerr := writeProfileExports(s, *flameOut, *pprofOut, os.Stderr); xerr != nil {
+				err = xerr
+			}
+		}
 		teardownTelemetry(s, hub, ops, *traceOut)
 		reportStore()
 		code := reportCheck(s, os.Stderr)
@@ -370,6 +388,59 @@ func teardownTelemetry(s *experiments.Session, hub *telemetry.Hub, ops *telemetr
 		}
 	}
 	ops.Close()
+}
+
+// writeProfileExports renders the hotspot campaign's attribution profiles
+// as folded flamegraph stacks (-flame-out) and/or a gzipped pprof protobuf
+// (-pprof-out). A no-op when neither flag is set.
+func writeProfileExports(s *experiments.Session, flameOut, pprofOut string, stderr io.Writer) error {
+	if flameOut == "" && pprofOut == "" {
+		return nil
+	}
+	profs, err := s.HotspotProfiles()
+	if err != nil {
+		return err
+	}
+	if flameOut != "" {
+		f, err := os.Create(flameOut)
+		if err != nil {
+			return err
+		}
+		for _, w := range workloads.TopDownSet() {
+			for _, a := range abi.All() {
+				if err := profile.WriteFolded(f, w.Name, a, profs[w.Name][a]); err != nil {
+					f.Close()
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "experiments: wrote folded flamegraph stacks to %s\n", flameOut)
+	}
+	if pprofOut != "" {
+		var pw profile.Pprof
+		for _, w := range workloads.TopDownSet() {
+			for _, a := range abi.All() {
+				pw.Add(w.Name, a, profs[w.Name][a])
+			}
+		}
+		f, err := os.Create(pprofOut)
+		if err != nil {
+			return err
+		}
+		if err := pw.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "experiments: wrote pprof profile to %s (%d samples; go tool pprof %s)\n",
+			pprofOut, pw.SampleCount(), pprofOut)
+	}
+	return nil
 }
 
 // writeTraceFile exports the hub's spans as Chrome trace-event JSON.

@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"cherisim/internal/abi"
@@ -28,7 +30,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	top := flag.Int("top", 15, "number of functions to report")
 	period := flag.Uint64("period", 65536, "sampling period in cycles")
-	compare := flag.Bool("compare", false, "print hybrid-vs-purecap share comparison")
+	compare := flag.Bool("compare", false, "print per-function share comparison across all three ABIs")
 	flag.Parse()
 	if *wl == "" {
 		flag.Usage()
@@ -40,7 +42,9 @@ func main() {
 	}
 
 	if *compare {
-		compareProfiles(w, *scale, *top, *period)
+		if err := compareProfiles(os.Stdout, w, *scale, *top, *period); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -56,43 +60,49 @@ func main() {
 	fmt.Print(core.FormatProfile(m.Profile(*period), *top))
 }
 
-func compareProfiles(w *workloads.Workload, scale, top int, period uint64) {
-	type entry struct{ hybrid, purecap float64 }
-	shares := map[string]*entry{}
-	collect := func(a abi.ABI, set func(e *entry, v float64)) {
+// compareProfiles renders the per-function share comparison: one row per
+// function with its cycle share under each ABI, sorted by purecap share
+// descending (name tiebreak), truncated to top rows.
+func compareProfiles(out io.Writer, w *workloads.Workload, scale, top int, period uint64) error {
+	shares := map[string]*[3]float64{}
+	for _, a := range abi.All() {
 		m, err := workloads.Execute(w, a, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, p := range m.Profile(period) {
 			e := shares[p.Name]
 			if e == nil {
-				e = &entry{}
+				e = &[3]float64{}
 				shares[p.Name] = e
 			}
-			set(e, p.Share)
+			e[a] += p.Share
 		}
 	}
-	collect(abi.Hybrid, func(e *entry, v float64) { e.hybrid += v })
-	collect(abi.Purecap, func(e *entry, v float64) { e.purecap += v })
+	names := make([]string, 0, len(shares))
+	for n := range shares {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		si, sj := shares[names[i]][abi.Purecap], shares[names[j]][abi.Purecap]
+		if si != sj {
+			return si > sj
+		}
+		return names[i] < names[j]
+	})
+	if top >= 0 && len(names) > top {
+		names = names[:top]
+	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 1, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "function\thybrid%%\tpurecap%%\tdelta\n")
-	printed := 0
-	// Sort by purecap share descending via simple selection (small sets).
-	for printed < top && len(shares) > 0 {
-		bestName, best := "", -1.0
-		for n, e := range shares {
-			if e.purecap > best {
-				bestName, best = n, e.purecap
-			}
-		}
-		e := shares[bestName]
-		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f\n", bestName, e.hybrid*100, e.purecap*100, (e.purecap-e.hybrid)*100)
-		delete(shares, bestName)
-		printed++
+	tw := tabwriter.NewWriter(out, 1, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "function\thybrid%%\tbenchmark%%\tpurecap%%\tdelta\n")
+	for _, n := range names {
+		e := shares[n]
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%+.1f\n",
+			n, e[abi.Hybrid]*100, e[abi.Benchmark]*100, e[abi.Purecap]*100,
+			(e[abi.Purecap]-e[abi.Hybrid])*100)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 func fatal(err error) {

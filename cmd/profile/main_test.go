@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cherisim/internal/workloads"
+)
+
+// TestCompareProfiles pins the -compare report's shape: a header with all
+// three ABI columns, rows sorted by purecap share descending, shares that
+// parse as percentages, and a delta column consistent with the hybrid and
+// purecap cells.
+func TestCompareProfiles(t *testing.T) {
+	w, err := workloads.ByName("sqlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compareProfiles(&buf, w, 1, 10, 65536); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("compare output too short:\n%s", buf.String())
+	}
+	header := strings.Fields(lines[0])
+	want := []string{"function", "hybrid%", "benchmark%", "purecap%", "delta"}
+	if len(header) != len(want) {
+		t.Fatalf("header %v, want %v", header, want)
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			t.Fatalf("header %v, want %v", header, want)
+		}
+	}
+	prev := 101.0
+	for _, ln := range lines[1:] {
+		f := strings.Fields(ln)
+		if len(f) != 5 {
+			t.Fatalf("row %q has %d columns, want 5", ln, len(f))
+		}
+		hy := parsePct(t, f[1])
+		bench := parsePct(t, f[2])
+		pure := parsePct(t, f[3])
+		delta, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			t.Fatalf("bad delta %q in %q", f[4], ln)
+		}
+		for _, v := range []float64{hy, bench, pure} {
+			if v < 0 || v > 100 {
+				t.Fatalf("share %v out of range in %q", v, ln)
+			}
+		}
+		if pure > prev {
+			t.Fatalf("rows not sorted by purecap share: %v after %v", pure, prev)
+		}
+		prev = pure
+		// delta prints at the same precision as its operands; allow one
+		// rounding step of disagreement.
+		if got := pure - hy; got-delta > 0.11 || delta-got > 0.11 {
+			t.Fatalf("delta %v inconsistent with purecap−hybrid = %v in %q", delta, got, ln)
+		}
+	}
+}
+
+// TestCompareProfilesTop checks the top truncation bound.
+func TestCompareProfilesTop(t *testing.T) {
+	w, err := workloads.ByName("sqlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compareProfiles(&buf, w, 1, 2, 65536); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("top=2 printed %d lines:\n%s", len(lines), buf.String())
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}

@@ -109,9 +109,12 @@ type Fn struct {
 	machine  *Machine
 	pointers int // pointer-typed parameters, for loader modelling
 
-	// Profiling attribution (see profile.go).
-	cycles float64
-	uops   uint64
+	// Profiling attribution (see profile.go): per-category cycle split
+	// (retiring held in raw µop units until snapshot), per-event count
+	// deltas and µop count charged to this function.
+	cat  [NumAttrCategories]float64
+	ev   [NumAttrEvents]uint64
+	uops uint64
 
 	// idx is the function's position in the machine's registration order;
 	// the replay recorder uses it as a stable cross-machine identifier.
@@ -165,9 +168,16 @@ type Machine struct {
 	pccStall     float64
 	auxUops      float64
 	dpCarry      float64
-	classUops    uint64
-	lastCycleEst float64
-	finalized    bool
+	classUops uint64
+	finalized bool
+
+	// Attribution snapshots: the category/event values at the previous
+	// attribute() call, so each µop charges only its delta (profile.go).
+	// lastRet tracks retiring in raw µop units; lastCat's retiring slot
+	// stays zero.
+	lastRet float64
+	lastCat [NumAttrCategories]float64
+	lastEv  [NumAttrEvents]uint64
 
 	// owner cache for capability derivation on data accesses.
 	ownBase, ownSize uint64

@@ -141,5 +141,10 @@ func rank(id string) int {
 			return i
 		}
 	}
+	// hotspots renders last: it appends to the campaign report without
+	// perturbing the byte-identical prefix earlier sections pin.
+	if id == "hotspots" {
+		return 200
+	}
 	return 100
 }

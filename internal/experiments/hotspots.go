@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/profile"
+	"cherisim/internal/resultstore"
+	"cherisim/internal/workloads"
+)
+
+// This file wires the per-function attribution profiler (core.attribute +
+// internal/profile) through the campaign engine: ProfileRun is the profiled
+// sibling of Session.Run — singleflighted, pool-bounded, persisted under
+// its own store kind — and the "hotspots" experiment renders the
+// differential ABI hotspot report over the paper's top-down workload set.
+// Profiled runs always execute live: the replay fast path retires µops
+// without visiting the interpreter's function stack, and DisableProfile is
+// exactly the switch this path leaves on.
+
+// hotspotTopN bounds the rendered rows per workload; the full profile is
+// still computed, exported (flamegraph/pprof) and stored.
+const hotspotTopN = 8
+
+func init() {
+	register(&Experiment{
+		ID:      "hotspots",
+		Title:   "Per-function differential ABI hotspots (top-down attribution)",
+		Section: "§4.4-§4.7 at function granularity",
+		Run:     runHotspots,
+	})
+}
+
+// profFlight is one profiled-run singleflight cell: the first caller owns
+// the execution and closes done; later callers share the outcome.
+type profFlight struct {
+	done chan struct{}
+	prof *core.AttributionProfile
+	err  error
+}
+
+// profileStoreKey addresses one profiled (workload, ABI) run. It rides the
+// measurement key's fingerprints but under its own kind, and folds the
+// attribution layout version into the config fingerprint so a layout change
+// invalidates stored profiles without touching the model fingerprint (and
+// therefore without invalidating golden baselines or plain run entries).
+func (s *Session) profileStoreKey(w *workloads.Workload, a abi.ABI) resultstore.Key {
+	key := s.runStoreKey(w, a)
+	key.Kind = resultstore.KindProfile
+	key.Config += "+" + core.AttrLayoutVersion
+	return key
+}
+
+// ProfileRun returns the (cached) per-function attribution profile of
+// executing workload w under ABI a, alongside the same supervision Run
+// applies (watchdog, chaos attempt 0, lockstep checking). Concurrent calls
+// for the same pair share one execution; profiles round-trip through the
+// result store bit-exactly, so a warm campaign re-renders with zero misses
+// and byte-identical output. Every returned profile has passed
+// profile.Reconcile against its run's counter file.
+func (s *Session) ProfileRun(w *workloads.Workload, a abi.ABI) (*core.AttributionProfile, error) {
+	key := runKey{workload: w.Name, abi: a}
+	s.mu.Lock()
+	if s.pflight == nil {
+		s.pflight = make(map[runKey]*profFlight)
+	}
+	if c, ok := s.pflight[key]; ok {
+		obs := s.obs
+		s.mu.Unlock()
+		obs.sfHit()
+		<-c.done
+		return c.prof, c.err
+	}
+	c := &profFlight{done: make(chan struct{})}
+	s.pflight[key] = c
+	sem := s.pool()
+	obs := s.obs // built by pool() when telemetry is on
+	s.mu.Unlock()
+
+	c.prof, c.err = s.profileRun(w, a, key, sem, obs)
+	close(c.done)
+	return c.prof, c.err
+}
+
+// profileRun is ProfileRun's owning-caller body: store lookup, live
+// profiled execution, reconciliation, persistence, telemetry publish.
+func (s *Session) profileRun(w *workloads.Workload, a abi.ABI, key runKey, sem chan int, obs *runObserver) (*core.AttributionProfile, error) {
+	var sk resultstore.Key
+	if s.Store != nil {
+		sk = s.profileStoreKey(w, a)
+		if s.storeEnabled() {
+			if e, ok := s.Store.Load(sk); ok && e.Profile != nil {
+				obs.storeHit()
+				obs.profiled(w, a, e.Profile)
+				return e.Profile, nil
+			}
+			obs.storeMiss()
+		}
+	}
+
+	worker := <-sem
+	m, err := s.profileOnce(w, a, obs)
+	sem <- worker
+	if err != nil {
+		return nil, fmt.Errorf("profile %s/%s: %w", key.workload, key.abi, err)
+	}
+	prof := m.AttributionProfile()
+	if err := profile.Reconcile(prof, &m.C); err != nil {
+		return nil, fmt.Errorf("profile %s/%s: %w", key.workload, key.abi, err)
+	}
+	if s.Store != nil {
+		e := &resultstore.Entry{Key: sk, Attempts: 1, Profile: &prof}
+		fillCoreResult(&e.CoreResult, &m.C, m.Heap.Stats(), m.Uops(), nil, true, nil)
+		_ = s.Store.Save(e)
+	}
+	obs.profiled(w, a, &prof)
+	return &prof, nil
+}
+
+// profileOnce performs one live profiled execution: the session's
+// supervision and lockstep hooks, but no replay and — crucially — no
+// DisableProfile, so the interpreter attributes every µop to the function
+// executing it.
+func (s *Session) profileOnce(w *workloads.Workload, a abi.ABI, obs *runObserver) (*core.Machine, error) {
+	cfg := s.effectiveConfig(a)
+	var setup func(*core.Machine)
+	if s.Chaos != nil || s.DeadlineUops > 0 {
+		_, setup = s.supervisedSetup(w, a, 0, obs, nil)
+	}
+	if col := s.checkCollector(); col != nil {
+		inner := setup
+		setup = func(m *core.Machine) {
+			col.AttachMachine(m)
+			if inner != nil {
+				inner(m)
+			}
+		}
+	}
+	return workloads.ExecuteHooked(w, cfg, s.Scale, setup)
+}
+
+// HotspotProfiles profiles the paper's top-down workload set (Table 4)
+// under every ABI, fanning out across the worker pool, and returns the
+// profiles keyed by workload name and indexed by abi.ABI. Any failed
+// profiled run fails the whole set — the differential report needs all
+// three ABIs of every workload.
+func (s *Session) HotspotProfiles() (map[string][3]core.AttributionProfile, error) {
+	set := workloads.TopDownSet()
+	type cell struct {
+		w    string
+		a    abi.ABI
+		prof *core.AttributionProfile
+		err  error
+	}
+	results := make([]cell, len(set)*len(abi.All()))
+	var wg sync.WaitGroup
+	for i, w := range set {
+		for _, a := range abi.All() {
+			wg.Add(1)
+			go func(idx int, w *workloads.Workload, a abi.ABI) {
+				defer wg.Done()
+				p, err := s.ProfileRun(w, a)
+				results[idx] = cell{w: w.Name, a: a, prof: p, err: err}
+			}(i*len(abi.All())+int(a), w, a)
+		}
+	}
+	wg.Wait()
+	out := make(map[string][3]core.AttributionProfile, len(set))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		v := out[r.w]
+		v[r.a] = *r.prof
+		out[r.w] = v
+	}
+	return out, nil
+}
+
+// cyc rounds a cycle estimate for display, collapsing negative zero (the
+// residual's sub-cycle float dust) onto plain 0.
+func cyc(v float64) float64 {
+	r := math.Round(v)
+	if r == 0 {
+		return 0
+	}
+	return r
+}
+
+// runHotspots renders the differential ABI hotspot report: per workload,
+// the functions that absorb the most purecap overhead, side by side across
+// the three ABIs, with the top-down category that grew — the paper's
+// Figs. 5-7 narrative at function granularity.
+func runHotspots(s *Session) (string, error) {
+	profs, err := s.HotspotProfiles()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Per-function hotspots: cycles by ABI, Δ = purecap − hybrid, and the\n")
+	b.WriteString("top-down category with the largest purecap growth (top ")
+	fmt.Fprintf(&b, "%d per workload)\n", hotspotTopN)
+	for _, w := range workloads.TopDownSet() {
+		fmt.Fprintf(&b, "\n%s:\n", w.Name)
+		tw := tabwriter.NewWriter(&b, 1, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "function\thybrid\tbenchmark\tpurecap\tΔcycles\tratio\tgrew in")
+		diffs := profile.Diff(profs[w.Name])
+		if len(diffs) > hotspotTopN {
+			diffs = diffs[:hotspotTopN]
+		}
+		for _, d := range diffs {
+			ratio := "-"
+			// Sub-cycle rows (the residual's float dust) get no ratio: a
+			// quotient of rounding noise reads as a real overhead.
+			if d.Ratio > 0 && d.Cycles[abi.Hybrid] >= 0.5 {
+				ratio = fmt.Sprintf("%.3f", d.Ratio)
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%+.0f\t%s\t%s\n",
+				d.Name, cyc(d.Cycles[abi.Hybrid]), cyc(d.Cycles[abi.Benchmark]),
+				cyc(d.Cycles[abi.Purecap]), cyc(d.Delta), ratio, d.Growth)
+		}
+		tw.Flush()
+	}
+	return b.String(), nil
+}

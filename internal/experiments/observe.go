@@ -35,6 +35,9 @@ type runObserver struct {
 	replayRecords *telemetry.Counter
 	replayBlocks  *telemetry.Counter
 	replayUops    *telemetry.Counter
+	profileRuns   *telemetry.Counter
+	profileFns    *telemetry.Counter
+	profileUops   *telemetry.Counter
 
 	poolOccupancy *telemetry.Gauge
 	poolWorkers   *telemetry.Gauge
@@ -65,6 +68,9 @@ func newRunObserver(hub *telemetry.Hub) *runObserver {
 		replayRecords: m.Counter("replay_records"),
 		replayBlocks:  m.Counter("replay_blocks"),
 		replayUops:    m.Counter("replay_fastpath_uops"),
+		profileRuns:   m.Counter("profile_runs"),
+		profileFns:    m.Counter("profile_functions"),
+		profileUops:   m.Counter("profile_uops_attributed"),
 		poolOccupancy: m.Gauge("pool_occupancy"),
 		poolWorkers:   m.Gauge("pool_workers"),
 		wallMs:        m.Histogram("run_wall_ms", telemetry.ExpBuckets(0.25, 2, 18)),
@@ -119,6 +125,22 @@ func (o *runObserver) replayed(att *telemetry.Span, t *replay.Trace) {
 	}
 	o.replayUops.Add(int64(t.Uops))
 	att.Attr("replayed", true)
+}
+
+// profiled counts one attribution profile captured (live or store-served)
+// and publishes it to the hub's /profiles store under workload/abi.
+func (o *runObserver) profiled(w *workloads.Workload, a abi.ABI, p *core.AttributionProfile) {
+	if o == nil {
+		return
+	}
+	o.profileRuns.Inc()
+	o.profileFns.Add(int64(len(p.Functions)))
+	var uops uint64
+	for _, f := range p.Functions {
+		uops += f.Uops
+	}
+	o.profileUops.Add(int64(uops + p.Residual.Uops))
+	o.hub.Profiles.Put(w.Name+"/"+a.String(), p)
 }
 
 // runStart opens the workload-run span on the acquired worker's track.

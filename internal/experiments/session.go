@@ -152,7 +152,8 @@ type Session struct {
 
 	mu       sync.Mutex
 	flight   map[runKey]*inflight
-	sem      chan int // worker-ID pool: receiving acquires a slot + identity
+	pflight  map[runKey]*profFlight // attribution-profile singleflight (see hotspots.go)
+	sem      chan int               // worker-ID pool: receiving acquires a slot + identity
 	obs      *runObserver
 	checkCol *check.Collector
 }
@@ -388,29 +389,7 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 	var inj *faultinject.Injector
 	var setup func(*core.Machine)
 	if supervised {
-		if s.Chaos != nil {
-			c := *s.Chaos
-			c.Seed = faultinject.RunSeed(c.Seed, w.Name, a.String(), attempt)
-			c.Observe = obs.injectObserver(att, c.Seed)
-			inj = faultinject.New(c)
-		}
-		deadline := s.DeadlineUops
-		setup = func(m *core.Machine) {
-			quantum := uint64(faultinject.DefaultQuantum)
-			if inj != nil {
-				quantum = inj.Quantum()
-			}
-			var executed uint64
-			m.SetQuantum(quantum, func() {
-				executed += quantum
-				if deadline > 0 && executed >= deadline {
-					panic(&core.DeadlineError{Uops: executed, Budget: deadline})
-				}
-				if inj != nil {
-					inj.Step(m)
-				}
-			})
-		}
+		inj, setup = s.supervisedSetup(w, a, attempt, obs, att)
 	}
 	if col := s.checkCollector(); col != nil {
 		inner := setup
@@ -453,6 +432,39 @@ func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs
 		d.Witness = &wr
 	}
 	return d
+}
+
+// supervisedSetup builds one attempt's supervision: the deterministic fault
+// injector (when the session runs chaos) and the quantum hook that drives
+// the watchdog and the injector. Shared by the measurement path
+// (executeOnce) and the profiled path (profileOnce), so both observe the
+// same fault schedule for the same (workload, ABI, attempt) cell.
+func (s *Session) supervisedSetup(w *workloads.Workload, a abi.ABI, attempt int, obs *runObserver, att *telemetry.Span) (*faultinject.Injector, func(*core.Machine)) {
+	var inj *faultinject.Injector
+	if s.Chaos != nil {
+		c := *s.Chaos
+		c.Seed = faultinject.RunSeed(c.Seed, w.Name, a.String(), attempt)
+		c.Observe = obs.injectObserver(att, c.Seed)
+		inj = faultinject.New(c)
+	}
+	deadline := s.DeadlineUops
+	setup := func(m *core.Machine) {
+		quantum := uint64(faultinject.DefaultQuantum)
+		if inj != nil {
+			quantum = inj.Quantum()
+		}
+		var executed uint64
+		m.SetQuantum(quantum, func() {
+			executed += quantum
+			if deadline > 0 && executed >= deadline {
+				panic(&core.DeadlineError{Uops: executed, Budget: deadline})
+			}
+			if inj != nil {
+				inj.Step(m)
+			}
+		})
+	}
+	return inj, setup
 }
 
 // runDataOf assembles the retained outcome of one execution (live or

@@ -1,0 +1,43 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+)
+
+// WriteFolded emits one attribution profile as folded flamegraph stacks
+// (Brendan Gregg's collapsed format, one `frame;frame;... count` line per
+// stack), with the synthetic stack workload;abi;function;category and the
+// category's attributed cycles as the count. flamegraph.pl or any
+// folded-stack viewer renders it directly; the per-category leaf frames
+// make each function's top-down split visible as sub-rectangles.
+//
+// Counts are cycles rounded to integers (the folded format counts
+// samples); zero-cycle frames are skipped. Functions render in profile
+// order (cycles descending), categories in declaration order, so output is
+// deterministic.
+func WriteFolded(w io.Writer, workload string, a abi.ABI, p core.AttributionProfile) error {
+	emit := func(f core.FnAttribution) error {
+		for i, c := range f.Categories {
+			n := uint64(math.Round(c))
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s;%s;%s;%s %d\n",
+				workload, a, f.Name, core.AttrCategory(i), n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, f := range p.Functions {
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	return emit(p.Residual)
+}

@@ -1,0 +1,238 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"math"
+	"sort"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+)
+
+// Pprof accumulates attribution profiles across runs and serialises them
+// as a gzipped pprof protobuf (the profile.proto schema `go tool pprof`
+// and the pprof web UI consume). The encoding is hand-rolled varint
+// protobuf — zero dependencies, like the Chrome-trace exporter in
+// internal/telemetry — and symbol-only: locations carry function lines but
+// no addresses or mappings, the shape of any symbolized software profile.
+//
+// Each (workload, abi, function) contributes one sample with values
+// [cycles, uops], a three-frame synthetic stack (function as the leaf,
+// then abi, then workload) and workload/abi string labels, so `pprof top`
+// aggregates functions across runs while the flame view and label filters
+// keep runs apart.
+type Pprof struct {
+	samples []pprofSample
+}
+
+type pprofSample struct {
+	workload string
+	abi      string
+	stack    [3]string // leaf first: function, abi, workload
+	cycles   int64
+	uops     int64
+}
+
+// Add appends one run's attribution profile (including its residual
+// entry).
+func (p *Pprof) Add(workload string, a abi.ABI, prof core.AttributionProfile) {
+	add := func(f core.FnAttribution) {
+		cyc := int64(math.Round(f.Cycles))
+		if cyc <= 0 && f.Uops == 0 {
+			return
+		}
+		p.samples = append(p.samples, pprofSample{
+			workload: workload,
+			abi:      a.String(),
+			stack:    [3]string{f.Name, a.String(), workload},
+			cycles:   cyc,
+			uops:     int64(f.Uops),
+		})
+	}
+	for _, f := range prof.Functions {
+		add(f)
+	}
+	add(prof.Residual)
+}
+
+// profile.proto field numbers (github.com/google/pprof/proto/profile.proto).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profPeriodType  = 11
+	profPeriod      = 12
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+	sampleLabel      = 3
+
+	labelKey = 1
+	labelStr = 2
+
+	locID   = 1
+	locLine = 4
+
+	lineFunctionID = 1
+
+	fnID   = 1
+	fnName = 2
+)
+
+// Encode serialises the accumulated samples as a gzipped pprof profile.
+func (p *Pprof) Encode(w io.Writer) error {
+	// String table: index 0 must be the empty string.
+	strIdx := map[string]uint64{"": 0}
+	table := []string{""}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(table))
+		strIdx[s] = i
+		table = append(table, s)
+		return i
+	}
+
+	// Function/location tables: one entry per unique frame name, location
+	// i wrapping function i (ids are 1-based; 0 means "no entry").
+	fnIdx := map[string]uint64{}
+	var fnNames []string
+	funcID := func(name string) uint64 {
+		if id, ok := fnIdx[name]; ok {
+			return id
+		}
+		id := uint64(len(fnNames) + 1)
+		fnIdx[name] = id
+		fnNames = append(fnNames, name)
+		intern(name)
+		return id
+	}
+
+	var body pbuf
+	// sample_type: cycles/cycles, uops/count. period_type cycles, period 1
+	// (every simulated cycle is accounted — the profile is exact, not
+	// sampled).
+	var vt pbuf
+	vt.varintField(vtType, intern("cycles"))
+	vt.varintField(vtUnit, intern("cycles"))
+	body.bytesField(profSampleType, vt.b)
+	vt = pbuf{}
+	vt.varintField(vtType, intern("uops"))
+	vt.varintField(vtUnit, intern("count"))
+	body.bytesField(profSampleType, vt.b)
+
+	// Deterministic sample order: as added (experiment iteration order is
+	// already deterministic).
+	for _, s := range p.samples {
+		var sm pbuf
+		var locs pbuf
+		for _, frame := range s.stack {
+			locs.varint(funcID(frame)) // location id == function id
+		}
+		sm.bytesField(sampleLocationID, locs.b) // packed
+		var vals pbuf
+		vals.varint(uint64(s.cycles))
+		vals.varint(uint64(s.uops))
+		sm.bytesField(sampleValue, vals.b) // packed
+		for _, kv := range [2][2]string{{"workload", s.workload}, {"abi", s.abi}} {
+			var lb pbuf
+			lb.varintField(labelKey, intern(kv[0]))
+			lb.varintField(labelStr, intern(kv[1]))
+			sm.bytesField(sampleLabel, lb.b)
+		}
+		body.bytesField(profSample, sm.b)
+	}
+
+	for i, name := range fnNames {
+		id := uint64(i + 1)
+		var loc pbuf
+		loc.varintField(locID, id)
+		var line pbuf
+		line.varintField(lineFunctionID, id)
+		loc.bytesField(locLine, line.b)
+		body.bytesField(profLocation, loc.b)
+
+		var fn pbuf
+		fn.varintField(fnID, id)
+		fn.varintField(fnName, intern(name))
+		body.bytesField(profFunction, fn.b)
+	}
+
+	var pt pbuf
+	pt.varintField(vtType, intern("cycles"))
+	pt.varintField(vtUnit, intern("cycles"))
+	body.bytesField(profPeriodType, pt.b)
+	body.varintField(profPeriod, 1)
+
+	// The string table must contain every interned string; emit it last in
+	// construction but the field order on the wire is irrelevant to proto
+	// decoding.
+	for _, s := range table {
+		body.stringField(profStringTable, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(body.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// SampleCount returns the number of accumulated samples (for telemetry and
+// tests).
+func (p *Pprof) SampleCount() int { return len(p.samples) }
+
+// FrameNames returns the sorted unique frame names across all samples
+// (test helper for validating symbolization).
+func (p *Pprof) FrameNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range p.samples {
+		for _, f := range s.stack {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pbuf is a minimal protobuf wire-format writer: varints, tagged varint
+// fields and length-delimited fields are all profile.proto needs.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *pbuf) varintField(field int, v uint64) {
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}

@@ -1,0 +1,187 @@
+// Package profile turns the simulator's exact per-function attribution
+// (core.AttributionProfile) into the artefacts a performance engineer
+// consumes: differential ABI hotspot reports (the paper's Figs. 5–7 at
+// function granularity), folded-stack flamegraph text, and pprof protobuf
+// profiles — plus the Reconcile check that proves the per-function split
+// carries exactly the information the whole-run top-down analysis sees.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/pmu"
+)
+
+// ReconstructCounters maps each attribution-category grouping to the PMU
+// counter finalize() derives from it, in finalize()'s exact float
+// association — the whole-run stall/cycle counter file as implied by the
+// profile alone. Reconcile checks it against the real one; the
+// conservation tests overlay it on a counter file and require
+// topdown.Analyze to be unchanged.
+func ReconstructCounters(t [core.NumAttrCategories]float64) map[pmu.Event]uint64 {
+	fe := t[core.AttrFrontend] + t[core.AttrPCC]
+	beMem := t[core.AttrL1Bound] + t[core.AttrL2Bound] + t[core.AttrExtMemBound]
+	be := beMem + t[core.AttrCoreBound]
+	cycles := t[core.AttrRetiring] + fe + be + t[core.AttrBadSpec]
+	return map[pmu.Event]uint64{
+		pmu.CPU_CYCLES:            uint64(cycles),
+		pmu.STALL_FRONTEND:        uint64(fe),
+		pmu.STALL_BACKEND:         uint64(be),
+		pmu.STALL_BACKEND_MEM:     uint64(beMem),
+		pmu.STALL_BACKEND_MEM_L1D: uint64(t[core.AttrL1Bound]),
+		pmu.STALL_BACKEND_MEM_L2D: uint64(t[core.AttrL2Bound]),
+		pmu.STALL_BACKEND_MEM_EXT: uint64(t[core.AttrExtMemBound]),
+		pmu.STALL_BACKEND_CORE:    uint64(t[core.AttrCoreBound]),
+		pmu.BAD_SPEC_CYCLES:       uint64(t[core.AttrBadSpec]),
+		pmu.PCC_STALL_CYCLES:      uint64(t[core.AttrPCC]),
+	}
+}
+
+// eventCounter maps each attributed event to its whole-run PMU counter.
+var eventCounter = [core.NumAttrEvents]pmu.Event{
+	core.EvL1DRefill:    pmu.L1D_CACHE_REFILL,
+	core.EvL2DRefill:    pmu.L2D_CACHE_REFILL,
+	core.EvLLCMissRd:    pmu.LL_CACHE_MISS_RD,
+	core.EvL1IRefill:    pmu.L1I_CACHE_REFILL,
+	core.EvDTLBWalk:     pmu.DTLB_WALK,
+	core.EvITLBWalk:     pmu.ITLB_WALK,
+	core.EvBrMispredict: pmu.BR_MIS_PRED_RETIRED,
+	core.EvCapMemRd:     pmu.CAP_MEM_ACCESS_RD,
+	core.EvCapMemWr:     pmu.CAP_MEM_ACCESS_WR,
+}
+
+// Reconcile verifies that p conserves the run it was taken from, against
+// the run's finalized counter file c:
+//
+//  1. per category, summing Functions in slice order and adding Residual
+//     reproduces Totals bit-exactly (likewise per event, in uint64);
+//  2. the stall/cycle counters reconstructed from Totals — using
+//     finalize()'s exact float grouping — equal c's values exactly, and so
+//     do the attributed event counters.
+//
+// Together these imply topdown.Analyze over the reconstruction equals
+// topdown.Analyze over the real counter file: the per-function split loses
+// nothing the whole-run breakdown has.
+func Reconcile(p core.AttributionProfile, c *pmu.Counters) error {
+	for i := range p.Totals {
+		sum := 0.0
+		for _, f := range p.Functions {
+			sum += f.Categories[i]
+		}
+		if got := sum + p.Residual.Categories[i]; got != p.Totals[i] {
+			return fmt.Errorf("profile: category %s not conserved: functions+residual = %v, total = %v",
+				core.AttrCategory(i), got, p.Totals[i])
+		}
+	}
+	for i := range p.TotalEvents {
+		var sum uint64
+		for _, f := range p.Functions {
+			sum += f.Events[i]
+		}
+		if got := sum + p.Residual.Events[i]; got != p.TotalEvents[i] {
+			return fmt.Errorf("profile: event %s not conserved: functions+residual = %d, total = %d",
+				core.AttrEvent(i), got, p.TotalEvents[i])
+		}
+	}
+	for ev, want := range ReconstructCounters(p.Totals) {
+		if got := c.Get(ev); got != want {
+			return fmt.Errorf("profile: reconstructed %s = %d, counter file has %d", ev, want, got)
+		}
+	}
+	for i, ev := range eventCounter {
+		if got := c.Get(ev); got != p.TotalEvents[i] {
+			return fmt.Errorf("profile: attributed %s total = %d, counter file has %d",
+				core.AttrEvent(i), p.TotalEvents[i], got)
+		}
+	}
+	return nil
+}
+
+// FnDiff is one function's side-by-side attribution across the three ABIs,
+// with the top-down category whose purecap−hybrid growth is largest — the
+// differential hotspot report's row. Per-ABI arrays are indexed by
+// abi.ABI (hybrid, benchmark, purecap).
+type FnDiff struct {
+	Name   string     `json:"name"`
+	Cycles [3]float64 `json:"cycles"`
+	Share  [3]float64 `json:"share"`
+	Uops   [3]uint64  `json:"uops"`
+	// Delta is purecap − hybrid cycles; Ratio is purecap / hybrid (0 when
+	// the function never ran under hybrid).
+	Delta float64 `json:"delta"`
+	Ratio float64 `json:"ratio"`
+	// Growth names the attribution category with the largest
+	// purecap−hybrid cycle increase for this function; GrowthDelta is that
+	// increase in cycles.
+	Growth      string  `json:"growth"`
+	GrowthDelta float64 `json:"growth_delta"`
+}
+
+// Diff builds the differential hotspot report from one attribution profile
+// per ABI (indexed by abi.ABI). Every function appearing under any ABI
+// gets a row (including the residual pseudo-function); rows are sorted by
+// Delta descending — the functions that absorb the most purecap overhead
+// first — with a name tiebreak for determinism.
+func Diff(profs [3]core.AttributionProfile) []FnDiff {
+	totals := [3]float64{}
+	perABI := [3]map[string]core.FnAttribution{}
+	names := []string{}
+	seen := map[string]bool{}
+	for _, a := range abi.All() {
+		p := profs[a]
+		perABI[a] = make(map[string]core.FnAttribution, len(p.Functions)+1)
+		for _, f := range p.Functions {
+			perABI[a][f.Name] = f
+			totals[a] += f.Cycles
+			if !seen[f.Name] {
+				seen[f.Name] = true
+				names = append(names, f.Name)
+			}
+		}
+		perABI[a][p.Residual.Name] = p.Residual
+		totals[a] += p.Residual.Cycles
+		if !seen[p.Residual.Name] {
+			seen[p.Residual.Name] = true
+			names = append(names, p.Residual.Name)
+		}
+	}
+	out := make([]FnDiff, 0, len(names))
+	for _, name := range names {
+		d := FnDiff{Name: name}
+		for _, a := range abi.All() {
+			f := perABI[a][name]
+			d.Cycles[a] = f.Cycles
+			d.Uops[a] = f.Uops
+			if totals[a] > 0 {
+				d.Share[a] = f.Cycles / totals[a]
+			}
+		}
+		d.Delta = d.Cycles[abi.Purecap] - d.Cycles[abi.Hybrid]
+		if d.Cycles[abi.Hybrid] > 0 {
+			d.Ratio = d.Cycles[abi.Purecap] / d.Cycles[abi.Hybrid]
+		}
+		hy, pc := perABI[abi.Hybrid][name], perABI[abi.Purecap][name]
+		growth, growthDelta := core.AttrCategory(0), 0.0
+		for i := range pc.Categories {
+			if g := pc.Categories[i] - hy.Categories[i]; g > growthDelta {
+				growth, growthDelta = core.AttrCategory(i), g
+			}
+		}
+		if growthDelta > 0 {
+			d.Growth, d.GrowthDelta = growth.String(), growthDelta
+		} else {
+			d.Growth = "none"
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delta != out[j].Delta {
+			return out[i].Delta > out[j].Delta
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/profile"
+)
+
+// HotspotRow is one function's differential attribution for one workload in
+// exportable form — a profile.FnDiff tagged with its workload.
+type HotspotRow struct {
+	Workload string `json:"workload"`
+	profile.FnDiff
+}
+
+// HotspotSet is the machine-readable form of the hotspots experiment: every
+// workload's differential per-function report, in collection order.
+type HotspotSet struct {
+	Tool  string       `json:"tool"`
+	Scale int          `json:"scale"`
+	Rows  []HotspotRow `json:"rows"`
+}
+
+// NewHotspotSet creates an empty hotspot export for the given scale.
+func NewHotspotSet(scale int) *HotspotSet {
+	return &HotspotSet{Tool: "cherisim", Scale: scale}
+}
+
+// Add appends one workload's differential report.
+func (h *HotspotSet) Add(workload string, diffs []profile.FnDiff) {
+	for _, d := range diffs {
+		h.Rows = append(h.Rows, HotspotRow{Workload: workload, FnDiff: d})
+	}
+}
+
+// WriteJSON streams the hotspot set as indented JSON.
+func (h *HotspotSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}
+
+// WriteCSV emits one row per (workload, function) with the side-by-side
+// per-ABI cycles/shares and the growth attribution, in a stable column
+// order.
+func (h *HotspotSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "function"}
+	for _, a := range abi.All() {
+		header = append(header, "cycles_"+a.String(), "share_"+a.String(), "uops_"+a.String())
+	}
+	header = append(header, "delta", "ratio", "growth", "growth_delta")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range h.Rows {
+		row := []string{r.Workload, r.Name}
+		for _, a := range abi.All() {
+			row = append(row, f(r.Cycles[a]), f(r.Share[a]), strconv.FormatUint(r.Uops[a], 10))
+		}
+		row = append(row, f(r.Delta), f(r.Ratio), r.Growth, f(r.GrowthDelta))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

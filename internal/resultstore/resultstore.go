@@ -51,6 +51,12 @@ const (
 	KindKernel = "kernel"
 	// KindCoRun is one shared-LLC soc co-run, stored as a unit.
 	KindCoRun = "corun"
+	// KindProfile is one profiled (workload, ABI) run: the counter file
+	// plus the full per-function attribution profile. Profiled runs key
+	// separately from KindRun because they execute live with attribution
+	// enabled; the attribution layout version is folded into Key.Config so
+	// a schema change re-profiles instead of mis-decoding.
+	KindProfile = "profile"
 )
 
 // Key identifies one stored result. Equal keys address equal content: two
@@ -220,6 +226,12 @@ type Entry struct {
 	// internal/attacks); warm security verdicts must reproduce the cold
 	// run's canary mismatch detail exactly.
 	Witness *workloads.CanaryReport `json:"witness,omitempty"`
+	// Profile is the per-function attribution of a KindProfile entry.
+	// Attribution values round-trip bit-exactly: float64s marshal at
+	// shortest-unique precision and parse back to the same bits, so a warm
+	// hotspot report (and its conservation reconcile) is byte-identical to
+	// the cold one.
+	Profile *core.AttributionProfile `json:"profile,omitempty"`
 }
 
 // valid performs the structural checks a load must pass beyond the

@@ -373,3 +373,58 @@ func TestInjectedEventsSurvive(t *testing.T) {
 		t.Errorf("supervision fields drifted: %+v", got)
 	}
 }
+
+// TestProfileRoundTrip verifies that a KindProfile entry's attribution
+// profile survives the store bit-exactly — float64 category values
+// included, since the warm hotspot report and its conservation reconcile
+// must be byte-identical to the cold run's.
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("sqlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := workloads.Execute(w, abi.Purecap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := m.AttributionProfile()
+	key := testKey("sqlite-profile")
+	key.Kind = KindProfile
+	key.Config += "+" + core.AttrLayoutVersion
+	e := &Entry{Key: key, Profile: &prof}
+	e.SetCounters(&m.C)
+	if err := s.Save(e); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := s.Load(key)
+	if !ok {
+		t.Fatal("profile entry missed")
+	}
+	if got.Profile == nil {
+		t.Fatal("profile dropped")
+	}
+	if got.Profile.Totals != prof.Totals {
+		t.Errorf("totals not bit-exact:\nstored %v\nloaded %v", prof.Totals, got.Profile.Totals)
+	}
+	if got.Profile.TotalEvents != prof.TotalEvents {
+		t.Errorf("event totals changed: %v vs %v", prof.TotalEvents, got.Profile.TotalEvents)
+	}
+	if len(got.Profile.Functions) != len(prof.Functions) {
+		t.Fatalf("function count %d vs %d", len(got.Profile.Functions), len(prof.Functions))
+	}
+	for i := range prof.Functions {
+		if got.Profile.Functions[i] != prof.Functions[i] {
+			t.Errorf("function %d not bit-exact:\nstored %+v\nloaded %+v",
+				i, prof.Functions[i], got.Profile.Functions[i])
+		}
+	}
+	if got.Profile.Residual != prof.Residual {
+		t.Errorf("residual not bit-exact:\nstored %+v\nloaded %+v", prof.Residual, got.Profile.Residual)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
 )
 
@@ -12,6 +13,7 @@ import (
 //
 //	/metrics       deterministic text snapshot of the metrics registry
 //	/spans         recent finished spans as JSON (newest last)
+//	/profiles      latest per-run attribution profiles, keyed by run
 //	/healthz       liveness probe ("ok")
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
@@ -37,6 +39,35 @@ func OpsHandler(h *Hub) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		enc.Encode(spans)
+	})
+	mux.HandleFunc("/profiles", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var store *ProfileStore
+		if h != nil {
+			store = h.Profiles
+		}
+		// Marshal keys in sorted order for a deterministic scrape.
+		snap := store.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.Write([]byte("{"))
+		for i, k := range keys {
+			if i > 0 {
+				w.Write([]byte(","))
+			}
+			nameJSON, _ := json.Marshal(k)
+			w.Write([]byte("\n "))
+			w.Write(nameJSON)
+			w.Write([]byte(": "))
+			w.Write(snap[k])
+		}
+		if len(keys) > 0 {
+			w.Write([]byte("\n"))
+		}
+		w.Write([]byte("}\n"))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// ProfileStore retains the latest per-run attribution profile per key
+// (typically "workload/abi"), pre-serialised to JSON, for the ops server's
+// /profiles endpoint. Like every telemetry handle it is nil-safe: a nil
+// store accepts and serves nothing, so publishing costs a pointer test
+// when telemetry is off.
+type ProfileStore struct {
+	mu   sync.Mutex
+	data map[string]json.RawMessage
+}
+
+// NewProfileStore builds an empty profile store.
+func NewProfileStore() *ProfileStore {
+	return &ProfileStore{data: map[string]json.RawMessage{}}
+}
+
+// Put records the latest profile for key, replacing any previous one. v is
+// marshalled immediately (the profile is a snapshot; later mutations must
+// not leak into the served copy). Marshal failures drop the update —
+// telemetry never fails the run it observes.
+func (p *ProfileStore) Put(key string, v any) {
+	if p == nil {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.data[key] = raw
+	p.mu.Unlock()
+}
+
+// Snapshot returns the stored profiles keyed by run, in a fresh map safe
+// for concurrent use.
+func (p *ProfileStore) Snapshot() map[string]json.RawMessage {
+	out := map[string]json.RawMessage{}
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	for k, v := range p.data {
+		out[k] = v
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// Keys returns the stored run keys, sorted.
+func (p *ProfileStore) Keys() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]string, 0, len(p.data))
+	for k := range p.data {
+		out = append(out, k)
+	}
+	p.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored profiles.
+func (p *ProfileStore) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.data)
+}

@@ -33,15 +33,19 @@ type Hub struct {
 	Spans   *Collector
 	Metrics *Registry
 	Log     *slog.Logger
+	// Profiles retains the latest per-run attribution profiles for the ops
+	// server's /profiles endpoint (see ProfileStore).
+	Profiles *ProfileStore
 }
 
 // New builds an enabled hub with a default-capacity span collector, an
 // empty registry, and a discarded log (replace Log to enable logging).
 func New() *Hub {
 	return &Hub{
-		Spans:   NewCollector(0),
-		Metrics: NewRegistry(),
-		Log:     Discard(),
+		Spans:    NewCollector(0),
+		Metrics:  NewRegistry(),
+		Log:      Discard(),
+		Profiles: NewProfileStore(),
 	}
 }
 

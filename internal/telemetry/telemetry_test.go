@@ -422,3 +422,55 @@ func TestNewLogger(t *testing.T) {
 		t.Fatalf("empty level must yield a discard logger: %v", err)
 	}
 }
+
+// TestProfileStore covers the profile store's nil-safety, replacement
+// semantics, and the /profiles ops endpoint it feeds.
+func TestProfileStore(t *testing.T) {
+	var nilStore *telemetry.ProfileStore
+	nilStore.Put("sqlite/purecap", map[string]int{"x": 1}) // must not panic
+	if nilStore.Len() != 0 || len(nilStore.Keys()) != 0 || len(nilStore.Snapshot()) != 0 {
+		t.Fatal("nil profile store not inert")
+	}
+
+	h := telemetry.New()
+	h.Profiles.Put("sqlite/purecap", map[string]int{"cycles": 10})
+	h.Profiles.Put("sqlite/hybrid", map[string]int{"cycles": 4})
+	h.Profiles.Put("sqlite/purecap", map[string]int{"cycles": 12}) // replaces
+	if got := h.Profiles.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := h.Profiles.Keys(); !reflect.DeepEqual(got, []string{"sqlite/hybrid", "sqlite/purecap"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	h.Profiles.Put("bad", make(chan int)) // unmarshalable: dropped, not fatal
+	if got := h.Profiles.Len(); got != 2 {
+		t.Fatalf("Len after bad Put = %d, want 2", got)
+	}
+
+	srv, err := telemetry.StartOps("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/profiles content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]struct {
+		Cycles int `json:"cycles"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("/profiles is not JSON: %v\n%s", err, body)
+	}
+	if len(decoded) != 2 || decoded["sqlite/purecap"].Cycles != 12 {
+		t.Fatalf("unexpected /profiles payload: %s", body)
+	}
+}
