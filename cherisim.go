@@ -210,7 +210,10 @@ func CoRun(names []string, a ABI, scale int) ([]*Result, error) {
 			Body:   func(m *Machine) { w.Run(m, scale) },
 		}
 	}
-	rs := soc.Run(specs)
+	rs, err := soc.Run(specs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]*Result, len(rs))
 	var firstErr error
 	for i, r := range rs {

@@ -54,6 +54,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"cherisim/internal/abi"
@@ -63,6 +64,7 @@ import (
 	"cherisim/internal/golden"
 	"cherisim/internal/profile"
 	"cherisim/internal/resultstore"
+	"cherisim/internal/soc"
 	"cherisim/internal/telemetry"
 	"cherisim/internal/workloads"
 )
@@ -84,6 +86,10 @@ func main() {
 	retries := flag.Int("retries", 2, "bounded retries for transient injected faults")
 	attacksFlag := flag.String("attacks", "",
 		"comma-separated attack names restricting the security experiment (requires -run security)")
+	topologyFlag := flag.String("topology", "",
+		"comma-separated fabric topologies (mesh, ring) for the scale experiment (requires -run scale)")
+	coresFlag := flag.String("cores", "",
+		"comma-separated fabric core counts for the scale experiment (requires -run scale)")
 	flameOut := flag.String("flame-out", "",
 		"write the hotspot profiles as folded flamegraph stacks to this file (requires -run hotspots)")
 	pprofOut := flag.String("pprof-out", "",
@@ -123,6 +129,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	topoNames, coreCounts, err := scaleConfig(*topologyFlag, *coresFlag, *run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	if (*flameOut != "" || *pprofOut != "") && *run != "hotspots" {
 		fmt.Fprintln(os.Stderr, "experiments: -flame-out/-pprof-out only apply to the hotspots experiment (use -run hotspots)")
 		os.Exit(2)
@@ -154,6 +165,8 @@ func main() {
 		s.Check = *checkFlag
 		s.Store = store
 		s.Attacks = attackNames
+		s.Topologies = topoNames
+		s.CoreCounts = coreCounts
 		return s
 	}
 	reportStore := func() {
@@ -238,6 +251,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// scaleConfig validates the scale-experiment sweep flags before any work
+// runs: both only apply to -run scale, topology names must parse, and
+// core counts must be positive integers within the fabric's range.
+func scaleConfig(topology, cores, run string) (topos []string, counts []int, err error) {
+	if topology == "" && cores == "" {
+		return nil, nil, nil
+	}
+	if run != "scale" {
+		return nil, nil, fmt.Errorf("-topology/-cores only apply to the scale experiment (use -run scale)")
+	}
+	if topology != "" {
+		for _, tp := range strings.Split(topology, ",") {
+			kind, err := soc.ParseTopologyKind(tp)
+			if err != nil {
+				return nil, nil, err
+			}
+			topos = append(topos, kind)
+		}
+	}
+	if cores != "" {
+		for _, c := range strings.Split(cores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				return nil, nil, fmt.Errorf("-cores: %q is not an integer", c)
+			}
+			if n < 1 || n > soc.MaxCores {
+				return nil, nil, fmt.Errorf("-cores: count %d outside [1, %d]", n, soc.MaxCores)
+			}
+			counts = append(counts, n)
+		}
+	}
+	return topos, counts, nil
 }
 
 // baselineConfig validates the golden-gate flag combinations before any

@@ -63,6 +63,54 @@ func TestSessionConfigValidation(t *testing.T) {
 	}
 }
 
+// TestScaleConfigValidation pins the scale-sweep flag contract: -topology
+// and -cores demand -run scale, unknown topologies and non-positive or
+// out-of-range core counts are rejected with descriptive errors, and legal
+// values parse into the session's sweep axes (topology names normalized).
+func TestScaleConfigValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		topology   string
+		cores      string
+		run        string
+		wantErr    string
+		wantTopos  []string
+		wantCounts []int
+	}{
+		{name: "unset is inert", run: ""},
+		{name: "topology without -run scale", topology: "mesh", run: "", wantErr: "-run scale"},
+		{name: "cores without -run scale", cores: "16", run: "security", wantErr: "-run scale"},
+		{name: "unknown topology", topology: "mesh,torus", run: "scale", wantErr: "torus"},
+		{name: "non-integer cores", cores: "16,lots", run: "scale", wantErr: "lots"},
+		{name: "zero cores", cores: "0", run: "scale", wantErr: "outside"},
+		{name: "negative cores", cores: "-4", run: "scale", wantErr: "outside"},
+		{name: "cores beyond fabric max", cores: "2048", run: "scale", wantErr: "outside"},
+		{name: "both axes", topology: "Mesh, ring", cores: "16,64", run: "scale",
+			wantTopos: []string{"mesh", "ring"}, wantCounts: []int{16, 64}},
+		{name: "cores alone", cores: "4", run: "scale", wantCounts: []int{4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topos, counts, err := scaleConfig(tc.topology, tc.cores, tc.run)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("scaleConfig accepted %+v", tc)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not name %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid config rejected: %v", err)
+			}
+			if fmt.Sprint(topos) != fmt.Sprint(tc.wantTopos) || fmt.Sprint(counts) != fmt.Sprint(tc.wantCounts) {
+				t.Fatalf("parsed (%v, %v), want (%v, %v)", topos, counts, tc.wantTopos, tc.wantCounts)
+			}
+		})
+	}
+}
+
 // TestRunCampaignDegradedMode drives the full campaign with a 1-µop
 // watchdog budget so every measured run deadline-aborts: the exit code
 // must be non-zero, the stderr summary must list every failed experiment

@@ -59,6 +59,25 @@ func (m *Machine) l2Path(addr uint64, write bool) (hierLevel, uint64) {
 	if r2.Hit {
 		return levelL2, m.Cfg.L2.HitLatency
 	}
+	if port := m.llcPort; port != nil {
+		// Topology-aware fabric (internal/soc): the port prices NoC hops
+		// plus slice-hit or DRAM latency; per-core read statistics stay on
+		// the machine either way.
+		if r2.WriteBack {
+			port.Access(r2.WriteBackAddr|m.llcSalt, true)
+		}
+		if !write {
+			m.llcRdAcc++
+		}
+		hit, lat := port.Access(addr|m.llcSalt, write)
+		if hit {
+			return levelLLC, lat
+		}
+		if !write {
+			m.llcRdMiss++
+		}
+		return levelDRAM, lat
+	}
 	if r2.WriteBack {
 		m.LLC.Access(r2.WriteBackAddr|m.llcSalt, true)
 	}

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"fmt"
+
 	"cherisim/internal/abi"
 	"cherisim/internal/alloc"
 	"cherisim/internal/branch"
@@ -187,9 +189,11 @@ type Machine struct {
 	revocations     []RevocationStats
 
 	// Shared-LLC support (see internal/soc): per-core LLC statistics and
-	// the address-space salt of co-running processes.
+	// the address-space salt of co-running processes. llcPort, when set,
+	// diverts post-L2 traffic to an external sliced-LLC fabric.
 	llcRdAcc, llcRdMiss uint64
 	llcSalt             uint64
+	llcPort             LLCPort
 
 	// Tracer, when set, records every data-memory access for locality
 	// analysis (internal/trace). Nil disables tracing at a nil-check's
@@ -285,13 +289,60 @@ func (m *Machine) Funcs() []*Fn { return m.fns }
 // TextBytes returns the total text-segment footprint.
 func (m *Machine) TextBytes() uint64 { return m.nextCode - TextBase }
 
+// saltShift positions the core-ID salt above every architectural address
+// the simulated process can generate: TextBase, HeapBase and StackBase all
+// sit below 2^47, so ORing the salt in is an injective rename of the
+// address space — it never disturbs line-offset, set-index or low tag bits,
+// and distinct cores can never collide. 64-47 = 17 salt bits support
+// co-runs of up to MaxCores cores.
+const saltShift = 47
+
+// MaxCores is the largest co-run the address-space salting supports.
+const MaxCores = 1 << (64 - saltShift)
+
+// coreSalt returns the address-space salt for a co-running core, panicking
+// on IDs outside the collision-free range. The former scheme
+// (coreID << 56) wrapped to 0 at core 256, silently aliasing core 0's
+// address space.
+func coreSalt(coreID int) uint64 {
+	if coreID < 0 || coreID >= MaxCores {
+		panic(fmt.Sprintf("core: coreID %d outside the salting range [0, %d)", coreID, MaxCores))
+	}
+	return uint64(coreID) << saltShift
+}
+
 // ShareLLC replaces the machine's last-level cache with a shared instance
 // and installs the core's address-space salt; used by internal/soc to
 // co-run machines on one system-level cache.
 func (m *Machine) ShareLLC(llc *cache.Cache, coreID int) {
 	m.LLC = llc
-	m.llcSalt = uint64(coreID) << 56
+	m.llcSalt = coreSalt(coreID)
 }
+
+// LLCPort is an external last-level-cache fabric: internal/soc's
+// topology-aware SoC routes the machine's post-L2 traffic through NoC
+// links to address-interleaved LLC slices. Access receives the salted
+// line-granular address and returns whether the slice (optimistically)
+// held the line and the full latency of the access — NoC hops plus
+// slice-hit or DRAM latency.
+type LLCPort interface {
+	Access(addr uint64, write bool) (hit bool, latency uint64)
+}
+
+// ShareLLCPort diverts the machine's post-L2 traffic through an external
+// LLC fabric instead of the built-in m.LLC instance, installing the core's
+// address-space salt exactly as ShareLLC does. The machine still counts
+// its own LLC reads and read misses, so PMU statistics stay per core.
+func (m *Machine) ShareLLCPort(port LLCPort, coreID int) {
+	m.llcPort = port
+	m.llcSalt = coreSalt(coreID)
+}
+
+// AddExternalStall charges extra backend external-memory stall cycles to
+// the machine — the SoC fabric's contention model bills queueing delay at
+// epoch barriers through this. It must be called before the machine
+// finalizes (the scheduler charges paused, unfinished cores only).
+func (m *Machine) AddExternalStall(cycles float64) { m.beMemExt += cycles }
 
 // SetQuantum arranges for fn to run every uops executed µops (the
 // multi-core scheduler's preemption hook).

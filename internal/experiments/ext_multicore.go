@@ -54,7 +54,10 @@ func runExtMulticore(s *Session) (string, error) {
 					Body:   func(m *core.Machine) { w.Run(m, s.Scale) },
 				}
 			}
-			res := s.CoRun("multicore/"+name+"/x4", specs)
+			res, err := s.CoRun("multicore/"+name+"/x4", specs)
+			if err != nil {
+				return "", fmt.Errorf("%s/%s: %w", name, a, err)
+			}
 			var worst float64
 			var llc float64
 			for i, r := range res {

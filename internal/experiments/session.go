@@ -12,6 +12,7 @@ import (
 
 	"cherisim/internal/abi"
 	"cherisim/internal/alloc"
+	"cherisim/internal/cache"
 	"cherisim/internal/check"
 	"cherisim/internal/core"
 	"cherisim/internal/faultinject"
@@ -124,6 +125,14 @@ type Session struct {
 	// named attack-corpus entries (see internal/attacks). Other
 	// experiments ignore it.
 	Attacks []string
+
+	// Topologies, when non-empty, restricts the scale experiment to the
+	// named fabric topologies ("mesh", "ring"). Other experiments ignore
+	// it.
+	Topologies []string
+	// CoreCounts, when non-empty, overrides the scale experiment's
+	// core-count sweep. Other experiments ignore it.
+	CoreCounts []int
 
 	// Check, when true, runs every measurement under the lockstep
 	// reference-model harness: each machine's caches and TLBs get a naive
@@ -240,6 +249,19 @@ func (s *Session) MachineSetup() func(*core.Machine) {
 		return nil
 	}
 	return func(m *core.Machine) { col.AttachMachine(m) }
+}
+
+// sliceSetup returns the per-slice hook the session installs on topology
+// co-runs — the lockstep checker shadows every LLC slice (safe under the
+// parallel weave: each slice's checker is only driven by the goroutine
+// merging that slice, and the collector is concurrency-safe). Nil when
+// checking is off.
+func (s *Session) sliceSetup() func(int, *cache.Cache) {
+	col := s.checkCollector()
+	if col == nil {
+		return nil
+	}
+	return func(slice int, c *cache.Cache) { check.AttachCache(col, c) }
 }
 
 // CheckReport summarizes the lockstep checker's results so far. The zero

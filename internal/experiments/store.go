@@ -210,40 +210,103 @@ type CoRunCore struct {
 // the key also folds in every core's configuration, in order. Like Run,
 // co-runs with failed cores are stored too: the unit is deterministic, so
 // a warm campaign reproduces the same per-core errors without simulating.
-func (s *Session) CoRun(id string, specs []soc.CoreSpec) []CoRunCore {
-	cfgs := make([]string, len(specs))
-	for i := range specs {
-		cfgs[i] = resultstore.ConfigFingerprint(specs[i].Config)
-	}
+// A spec-validation error (divergent LLC geometry) is returned before
+// anything executes or persists.
+func (s *Session) CoRun(id string, specs []soc.CoreSpec) ([]CoRunCore, error) {
 	key := resultstore.Key{
 		Kind:   resultstore.KindCoRun,
 		Name:   id,
 		Scale:  s.Scale,
-		Config: strings.Join(cfgs, "+"),
+		Config: coRunConfigKey(specs),
 		Model:  resultstore.ModelFingerprint(),
 	}
 	obs := s.campaignObserver()
 	if s.storeEnabled() {
 		if e, ok := s.Store.Load(key); ok && len(e.Cores) == len(specs) {
 			obs.storeHit()
-			return coRunFromEntry(e)
+			return coRunFromEntry(e), nil
 		}
 		obs.storeMiss()
 	}
 
-	if setup := s.MachineSetup(); setup != nil {
-		for i := range specs {
-			inner := specs[i].Setup
-			specs[i].Setup = func(m *core.Machine) {
-				setup(m)
-				if inner != nil {
-					inner(m)
-				}
+	s.wrapMachineSetup(specs)
+	res, err := soc.RunObserved(specs, s.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	e := coRunEntry(key, res, nil)
+	if s.Store != nil {
+		_ = s.Store.Save(e)
+	}
+	return coRunFromEntry(e), nil
+}
+
+// CoRunTopo executes a topology co-run (mesh/ring sliced-LLC fabric)
+// through the session's result store. Like CoRun, the whole co-run is one
+// stored unit; the entry additionally carries the fabric's slice/link
+// accounting, and the topology fingerprint is folded into the key so a
+// fabric-parameter change re-runs instead of replaying stale results.
+func (s *Session) CoRunTopo(id string, topo soc.Topology, specs []soc.CoreSpec) ([]CoRunCore, *soc.FabricStats, error) {
+	topo = topo.WithDefaults()
+	key := resultstore.Key{
+		Kind:   resultstore.KindScale,
+		Name:   id,
+		Scale:  s.Scale,
+		Config: coRunConfigKey(specs) + "|" + topo.Fingerprint(),
+		Model:  resultstore.ModelFingerprint(),
+	}
+	obs := s.campaignObserver()
+	if s.storeEnabled() {
+		if e, ok := s.Store.Load(key); ok && len(e.Cores) == len(specs) && e.Fabric != nil {
+			obs.storeHit()
+			return coRunFromEntry(e), e.Fabric, nil
+		}
+		obs.storeMiss()
+	}
+
+	s.wrapMachineSetup(specs)
+	res, err := soc.RunTopologyObserved(topo, specs, s.Telemetry, s.sliceSetup())
+	if err != nil {
+		return nil, nil, err
+	}
+	e := coRunEntry(key, res.Cores, res.Fabric)
+	if s.Store != nil {
+		_ = s.Store.Save(e)
+	}
+	return coRunFromEntry(e), e.Fabric, nil
+}
+
+// coRunConfigKey folds every core's configuration, in order, into one
+// store-key component.
+func coRunConfigKey(specs []soc.CoreSpec) string {
+	cfgs := make([]string, len(specs))
+	for i := range specs {
+		cfgs[i] = resultstore.ConfigFingerprint(specs[i].Config)
+	}
+	return strings.Join(cfgs, "+")
+}
+
+// wrapMachineSetup prepends the session's machine hook (lockstep shadows)
+// to every spec's Setup.
+func (s *Session) wrapMachineSetup(specs []soc.CoreSpec) {
+	setup := s.MachineSetup()
+	if setup == nil {
+		return
+	}
+	for i := range specs {
+		inner := specs[i].Setup
+		specs[i].Setup = func(m *core.Machine) {
+			setup(m)
+			if inner != nil {
+				inner(m)
 			}
 		}
 	}
-	res := soc.RunObserved(specs, s.Telemetry)
-	e := &resultstore.Entry{Key: key, Cores: make([]resultstore.CoreResult, len(res))}
+}
+
+// coRunEntry builds the stored unit for a co-run's results.
+func coRunEntry(key resultstore.Key, res []soc.Result, fab *soc.FabricStats) *resultstore.Entry {
+	e := &resultstore.Entry{Key: key, Cores: make([]resultstore.CoreResult, len(res)), Fabric: fab}
 	for i, r := range res {
 		machine := r.Machine != nil
 		var c *pmu.Counters
@@ -258,10 +321,7 @@ func (s *Session) CoRun(id string, specs []soc.CoreSpec) []CoRunCore {
 		}
 		fillCoreResult(&e.Cores[i], c, heap, uops, r.Err, machine, nil)
 	}
-	if s.Store != nil {
-		_ = s.Store.Save(e)
-	}
-	return coRunFromEntry(e)
+	return e
 }
 
 // coRunFromEntry rebuilds the per-core results of a stored co-run.

@@ -330,13 +330,19 @@ func TestCoRunRoundTrips(t *testing.T) {
 	}
 
 	cold := storeSession(t, dir)
-	r1 := cold.CoRun("test/corun:x2", specs())
+	r1, err := cold.CoRun("test/corun:x2", specs())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st := cold.StoreStats(); st.Writes != 1 {
 		t.Fatalf("cold co-run stats = %s", st)
 	}
 
 	warm := storeSession(t, dir)
-	r2 := warm.CoRun("test/corun:x2", specs())
+	r2, err := warm.CoRun("test/corun:x2", specs())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st := warm.StoreStats(); st.Hits != 1 || st.Misses != 0 {
 		t.Fatalf("warm co-run stats = %s", st)
 	}
@@ -347,6 +353,64 @@ func TestCoRunRoundTrips(t *testing.T) {
 		if r1[i].Counters != r2[i].Counters || !reflect.DeepEqual(r1[i].Metrics, r2[i].Metrics) {
 			t.Errorf("core %d differs between cold and warm", i)
 		}
+	}
+}
+
+// TestCoRunTopoRoundTrips: a topology co-run is stored as one unit — every
+// core's counters plus the fabric's slice/link accounting — and a warm
+// session serves both back identical. A different topology is a different
+// unit (the fingerprint is part of the key).
+func TestCoRunTopoRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	w := mustWorkload(t, "llama-matmul")
+	specs := func() []soc.CoreSpec {
+		out := make([]soc.CoreSpec, 4)
+		for i := range out {
+			out[i] = soc.CoreSpec{
+				Config: core.DefaultConfig(abi.Hybrid),
+				Body:   func(m *core.Machine) { w.Run(m, 1) },
+			}
+		}
+		return out
+	}
+	topo := soc.Topology{Kind: soc.TopoMesh, Cores: 4}
+
+	cold := storeSession(t, dir)
+	r1, f1, err := cold.CoRunTopo("test/topo:x4", topo, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.StoreStats(); st.Writes != 1 {
+		t.Fatalf("cold topo co-run stats = %s", st)
+	}
+	if f1 == nil || f1.Epochs == 0 {
+		t.Fatalf("cold run carries no fabric stats: %+v", f1)
+	}
+
+	warm := storeSession(t, dir)
+	r2, f2, err := warm.CoRunTopo("test/topo:x4", topo, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.StoreStats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("warm topo co-run stats = %s", st)
+	}
+	for i := range r1 {
+		if r1[i].Counters != r2[i].Counters {
+			t.Errorf("core %d differs between cold and warm", i)
+		}
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Error("fabric stats differ between cold and warm")
+	}
+
+	// Same id on a ring fabric must be a distinct unit, not a stale hit.
+	other := storeSession(t, dir)
+	if _, _, err := other.CoRunTopo("test/topo:x4", soc.Topology{Kind: soc.TopoRing, Cores: 4}, specs()); err != nil {
+		t.Fatal(err)
+	}
+	if st := other.StoreStats(); st.Hits != 0 || st.Writes != 1 {
+		t.Errorf("ring topology reused the mesh entry: %s", st)
 	}
 }
 

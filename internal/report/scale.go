@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ScaleCell is one (topology, cores, ABI) point of the many-core scale
+// experiment: the co-run's aggregate slowdown against its solo baseline
+// plus the fabric's traffic and contention accounting.
+type ScaleCell struct {
+	Topology string `json:"topology"`
+	Cores    int    `json:"cores"`
+	Slices   int    `json:"slices"`
+	ABI      string `json:"abi"`
+	Epochs   uint64 `json:"epochs"`
+	// MeanSlowdown and WorstSlowdown are co-run/solo time ratios across
+	// the cores (1.0 = no interference).
+	MeanSlowdown  float64 `json:"meanSlowdown"`
+	WorstSlowdown float64 `json:"worstSlowdown"`
+	// LLCReadMR is the mean per-core last-level read miss ratio.
+	LLCReadMR float64 `json:"llcReadMR"`
+	// HopsPerAccess is the mean NoC distance of an LLC access.
+	HopsPerAccess float64 `json:"hopsPerAccess"`
+	// SliceContention and LinkContention are the fabric's total settled
+	// contention cycles, by resource class.
+	SliceContention uint64 `json:"sliceContention"`
+	LinkContention  uint64 `json:"linkContention"`
+	// Accesses is the total sliced-LLC traffic the fabric carried.
+	Accesses uint64 `json:"accesses"`
+}
+
+// ScaleReport is the machine-readable form of the scale experiment: the
+// topology x core-count x ABI sweep over the fabric co-runs.
+type ScaleReport struct {
+	Tool     string      `json:"tool"`
+	Workload string      `json:"workload"`
+	Cells    []ScaleCell `json:"cells"`
+}
+
+// NewScaleReport creates an empty report with provenance metadata.
+func NewScaleReport(workload string) *ScaleReport {
+	return &ScaleReport{Tool: "cherisim", Workload: workload}
+}
+
+// Add appends a cell.
+func (r *ScaleReport) Add(c ScaleCell) { r.Cells = append(r.Cells, c) }
+
+// WriteJSON streams the report as indented JSON.
+func (r *ScaleReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadScaleJSON parses a report written by WriteJSON.
+func ReadScaleJSON(rd io.Reader) (*ScaleReport, error) {
+	var r ScaleReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: decode scale: %w", err)
+	}
+	return &r, nil
+}
+
+// WriteCSV emits one row per cell.
+func (r *ScaleReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"topology", "cores", "slices", "abi", "epochs",
+		"mean_slowdown", "worst_slowdown", "llc_read_mr", "hops_per_access",
+		"slice_contention", "link_contention", "accesses"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			c.Topology,
+			strconv.Itoa(c.Cores),
+			strconv.Itoa(c.Slices),
+			c.ABI,
+			strconv.FormatUint(c.Epochs, 10),
+			strconv.FormatFloat(c.MeanSlowdown, 'g', -1, 64),
+			strconv.FormatFloat(c.WorstSlowdown, 'g', -1, 64),
+			strconv.FormatFloat(c.LLCReadMR, 'g', -1, 64),
+			strconv.FormatFloat(c.HopsPerAccess, 'g', -1, 64),
+			strconv.FormatUint(c.SliceContention, 10),
+			strconv.FormatUint(c.LinkContention, 10),
+			strconv.FormatUint(c.Accesses, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

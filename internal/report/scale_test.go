@@ -1,0 +1,64 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleScale() *ScaleReport {
+	r := NewScaleReport("llama-matmul")
+	r.Add(ScaleCell{Topology: "mesh", Cores: 16, Slices: 16, ABI: "hybrid",
+		Epochs: 42, MeanSlowdown: 1.12, WorstSlowdown: 1.31, LLCReadMR: 0.18,
+		HopsPerAccess: 2.4, SliceContention: 900, LinkContention: 120, Accesses: 50000})
+	r.Add(ScaleCell{Topology: "ring", Cores: 64, Slices: 64, ABI: "purecap",
+		Epochs: 99, MeanSlowdown: 1.55, WorstSlowdown: 2.02, LLCReadMR: 0.33,
+		HopsPerAccess: 16.1, SliceContention: 4400, LinkContention: 3100, Accesses: 210000})
+	return r
+}
+
+func TestScaleJSONRoundTrip(t *testing.T) {
+	r := sampleScale()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScaleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", r, got)
+	}
+}
+
+func TestScaleReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadScaleJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestScaleCSVShape(t *testing.T) {
+	r := sampleScale()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(r.Cells) {
+		t.Fatalf("rows = %d, want header + %d cells", len(rows), len(r.Cells))
+	}
+	for i, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(row), len(rows[0]))
+		}
+	}
+	if rows[1][0] != "mesh" || rows[2][3] != "purecap" {
+		t.Fatalf("unexpected cell layout: %v", rows)
+	}
+}

@@ -51,6 +51,12 @@ const (
 	KindKernel = "kernel"
 	// KindCoRun is one shared-LLC soc co-run, stored as a unit.
 	KindCoRun = "corun"
+	// KindScale is one topology co-run (mesh/ring sliced-LLC fabric),
+	// stored as a unit: every core's counter file plus the fabric's
+	// slice/link accounting. The topology fingerprint is folded into
+	// Key.Config so a fabric-parameter change re-runs instead of
+	// replaying a different machine's results.
+	KindScale = "scale"
 	// KindProfile is one profiled (workload, ABI) run: the counter file
 	// plus the full per-function attribution profile. Profiled runs key
 	// separately from KindRun because they execute live with attribution
@@ -222,6 +228,11 @@ type Entry struct {
 	Injected []faultinject.Event `json:"injected,omitempty"`
 	// Cores holds the per-core results of a co-run unit.
 	Cores []CoreResult `json:"cores,omitempty"`
+	// Fabric holds the topology co-run accounting of a KindScale unit:
+	// the NoC shape plus per-slice, per-link and per-core fabric counters.
+	// It round-trips bit-exactly, so a warm scale render (including its
+	// reconciliation line) is byte-identical to the cold one.
+	Fabric *soc.FabricStats `json:"fabric,omitempty"`
 	// Witness is the corruption witness of an attack-corpus run (see
 	// internal/attacks); warm security verdicts must reproduce the cold
 	// run's canary mismatch detail exactly.

@@ -37,23 +37,56 @@ type Result struct {
 // realistic, large enough to keep scheduling overhead negligible.
 const QuantumUops = 8192
 
+// GeometryError reports co-run specs that disagree on the shared LLC
+// geometry: the shared cache is one physical structure, so every core must
+// describe it identically (an ablation that resizes the LLC must resize it
+// for all cores). Core 0's configuration is the reference, matching the
+// cache the scheduler would have built.
+type GeometryError struct {
+	Core      int          // first core whose LLC config diverges
+	Want, Got cache.Config // core 0's geometry vs the divergent one
+}
+
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("soc: core %d LLC geometry %+v disagrees with core 0's %+v: co-running cores share one physical LLC",
+		e.Core, e.Got, e.Want)
+}
+
+// validateLLCGeometry checks that every spec describes the same shared LLC.
+func validateLLCGeometry(specs []CoreSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	want := specs[0].Config.LLC
+	for i := 1; i < len(specs); i++ {
+		if got := specs[i].Config.LLC; got != want {
+			return &GeometryError{Core: i, Want: want, Got: got}
+		}
+	}
+	return nil
+}
+
 // Run co-runs the specs on a shared LLC and returns per-core results. The
 // scheduler is a deterministic round robin: core 0 runs one quantum, then
 // core 1, and so on; finished cores drop out. Only one core executes at
 // any instant, so the shared cache needs no locking and results are
-// bit-reproducible.
-func Run(specs []CoreSpec) []Result { return RunObserved(specs, nil) }
+// bit-reproducible. Specs whose LLC geometries disagree are rejected with
+// a *GeometryError before anything executes.
+func Run(specs []CoreSpec) ([]Result, error) { return RunObserved(specs, nil) }
 
 // RunObserved is Run with telemetry: the co-run becomes a "corun" span
 // with one child span per core on its own trace track, scheduling quanta
 // feed the soc_quanta_scheduled counter, and per-core outcomes are stamped
 // as span attributes. A nil hub is exactly Run — observation rides the
 // scheduler loop, never the cores, so results are unchanged either way.
-func RunObserved(specs []CoreSpec, hub *telemetry.Hub) []Result {
+func RunObserved(specs []CoreSpec, hub *telemetry.Hub) ([]Result, error) {
+	if err := validateLLCGeometry(specs); err != nil {
+		return nil, err
+	}
 	n := len(specs)
 	results := make([]Result, n)
 	if n == 0 {
-		return results
+		return results, nil
 	}
 
 	var reg *telemetry.Registry
@@ -139,7 +172,7 @@ func RunObserved(specs []CoreSpec, hub *telemetry.Hub) []Result {
 		}
 	}
 	corun.End()
-	return results
+	return results, nil
 }
 
 // RunWorkloads is a convenience wrapper co-running named workload bodies
@@ -152,5 +185,5 @@ func RunWorkloads(cfgs []core.Config, bodies []func(*core.Machine)) ([]Result, e
 	for i := range cfgs {
 		specs[i] = CoreSpec{Config: cfgs[i], Body: bodies[i]}
 	}
-	return Run(specs), nil
+	return Run(specs)
 }

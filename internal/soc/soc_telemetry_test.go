@@ -20,10 +20,13 @@ func TestCoRunTelemetrySpans(t *testing.T) {
 			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)},
 		}
 	}
-	plain := Run(specs())
+	plain := mustRun(t, specs())
 
 	hub := telemetry.New()
-	observed := RunObserved(specs(), hub)
+	observed, err := RunObserved(specs(), hub)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range plain {
 		if plain[i].Machine.C != observed[i].Machine.C {
 			t.Fatalf("core %d counters diverged under observation", i)

@@ -10,6 +10,17 @@ import (
 	"cherisim/internal/workloads"
 )
 
+// mustRun runs specs through the round-robin scheduler, failing the test
+// on a spec-validation error.
+func mustRun(t *testing.T, specs []CoreSpec) []Result {
+	t.Helper()
+	res, err := Run(specs)
+	if err != nil {
+		t.Fatalf("soc.Run: %v", err)
+	}
+	return res
+}
+
 // streamBody builds a body that accesses random lines of its own buffer
 // (an LCG walk, so LRU caches retain a proportional working-set share —
 // cyclic streams would degenerate to 100 % misses at every level).
@@ -28,7 +39,7 @@ func streamBody(bufBytes uint64, accesses int) func(*core.Machine) {
 }
 
 func TestSoloRun(t *testing.T) {
-	res := Run([]CoreSpec{{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)}})
+	res := mustRun(t, []CoreSpec{{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(256<<10, 20000)}})
 	if len(res) != 1 || res[0].Err != nil {
 		t.Fatalf("solo run failed: %+v", res)
 	}
@@ -39,7 +50,7 @@ func TestSoloRun(t *testing.T) {
 
 func TestDeterministicCoRun(t *testing.T) {
 	run := func() [2]pmu.Counters {
-		res := Run([]CoreSpec{
+		res := mustRun(t, []CoreSpec{
 			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(512<<10, 20000)},
 			{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(512<<10, 20000)},
 		})
@@ -54,7 +65,7 @@ func TestDeterministicCoRun(t *testing.T) {
 func TestLLCContentionSlowsCoRunners(t *testing.T) {
 	// Solo: a 1.5 MiB working set exceeds the private 1 MiB L2, so ~0.5 MiB
 	// of each pass is served by the LLC, which holds it comfortably.
-	solo := Run([]CoreSpec{{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(1536<<10, 60000)}})
+	solo := mustRun(t, []CoreSpec{{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(1536<<10, 60000)}})
 	soloCycles := solo[0].Machine.Cycles()
 
 	// Co-run four of them: the combined L2 spill (4 x ~0.5 MiB) thrashes
@@ -63,7 +74,7 @@ func TestLLCContentionSlowsCoRunners(t *testing.T) {
 	for i := range specs {
 		specs[i] = CoreSpec{Config: core.DefaultConfig(abi.Hybrid), Body: streamBody(1536<<10, 60000)}
 	}
-	co := Run(specs)
+	co := mustRun(t, specs)
 	for i, r := range co {
 		if r.Err != nil {
 			t.Fatalf("core %d: %v", i, r.Err)
@@ -86,7 +97,7 @@ func TestAddressSpacesIsolated(t *testing.T) {
 			panic("corrupted")
 		}
 	}
-	res := Run([]CoreSpec{
+	res := mustRun(t, []CoreSpec{
 		{Config: core.DefaultConfig(abi.Purecap), Body: body},
 		{Config: core.DefaultConfig(abi.Purecap), Body: body},
 	})
@@ -106,7 +117,7 @@ func TestCoRunRealWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Run([]CoreSpec{
+	res := mustRun(t, []CoreSpec{
 		{Config: core.DefaultConfig(abi.Purecap), Body: func(m *core.Machine) { omnet.Run(m, 1) }},
 		{Config: core.DefaultConfig(abi.Purecap), Body: func(m *core.Machine) { llama.Run(m, 1) }},
 	})
@@ -130,7 +141,7 @@ func TestCoRunPanicContained(t *testing.T) {
 	// One core panics mid-run with a non-Fault value; the round-robin
 	// scheduler must not deadlock, the panic must surface as a structured
 	// error, and the healthy core must finish its work.
-	res := Run([]CoreSpec{
+	res := mustRun(t, []CoreSpec{
 		{Config: core.DefaultConfig(abi.Hybrid), Body: func(m *core.Machine) {
 			m.Func("bad", 512, 64)
 			m.ALU(100)
@@ -147,5 +158,58 @@ func TestCoRunPanicContained(t *testing.T) {
 	}
 	if res[1].Machine.C.Get(pmu.INST_RETIRED) == 0 {
 		t.Fatal("healthy core did no work")
+	}
+}
+
+// TestRunRejectsDivergentLLCGeometry is the regression test for the
+// specs[0]-only LLC construction bug: heterogeneous co-run specs used to
+// silently get core 0's geometry. Every disagreement — size, ways, line
+// size, hit latency — must now be rejected with a structured
+// *GeometryError naming the divergent core, before anything executes.
+func TestRunRejectsDivergentLLCGeometry(t *testing.T) {
+	body := streamBody(64<<10, 100)
+	base := func() CoreSpec {
+		return CoreSpec{Config: core.DefaultConfig(abi.Hybrid), Body: body}
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*CoreSpec)
+		wantCore int
+	}{
+		{name: "size", mutate: func(s *CoreSpec) { s.Config.LLC.SizeBytes *= 2 }, wantCore: 1},
+		{name: "ways", mutate: func(s *CoreSpec) { s.Config.LLC.Ways = 8 }, wantCore: 1},
+		{name: "line size", mutate: func(s *CoreSpec) { s.Config.LLC.LineSize = 128 }, wantCore: 1},
+		{name: "hit latency", mutate: func(s *CoreSpec) { s.Config.LLC.HitLatency = 99 }, wantCore: 1},
+		{name: "last core", mutate: nil, wantCore: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			specs := []CoreSpec{base(), base(), base(), base()}
+			if tc.mutate != nil {
+				tc.mutate(&specs[1])
+			} else {
+				specs[3].Config.LLC.SizeBytes /= 2
+			}
+			_, err := Run(specs)
+			var ge *GeometryError
+			if !errors.As(err, &ge) {
+				t.Fatalf("divergent LLC geometry accepted (err = %v)", err)
+			}
+			if ge.Core != tc.wantCore {
+				t.Fatalf("error blames core %d, want %d", ge.Core, tc.wantCore)
+			}
+		})
+	}
+
+	// Agreeing specs still run: ablated geometry is fine when shared by all.
+	specs := []CoreSpec{base(), base()}
+	for i := range specs {
+		specs[i].Config.LLC.SizeBytes = 512 << 10
+	}
+	res := mustRun(t, specs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("core %d: %v", i, r.Err)
+		}
 	}
 }

@@ -126,19 +126,26 @@ func (g *Gauge) Value() int64 {
 }
 
 // Histogram counts observations into fixed buckets with an exact running
-// sum, lock-free on the observe path.
+// sum. A short mutex keeps the (count, sum, buckets) triple consistent:
+// every snapshot observes a state some prefix of the Observe calls
+// actually produced, never a torn count/sum pair that no execution reached
+// (visible once hundreds of cores feed contention histograms while the
+// registry renders). Observe sites are supervisor-rate (per run, per
+// epoch), never the per-µop hot path, so the lock is uncontended in
+// steady state.
 type Histogram struct {
-	bounds []float64      // upper bounds, strictly increasing
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomicFloat
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, strictly increasing
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = ExpBuckets(1, 2, 14)
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
 // ExpBuckets returns n exponentially spaced bucket bounds starting at
@@ -160,25 +167,19 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sum.add(v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
 }
 
-// atomicFloat is a CAS-loop float64 accumulator.
-type atomicFloat struct{ bits atomic.Uint64 }
-
-func (f *atomicFloat) add(v float64) {
-	for {
-		old := f.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if f.bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
+// snapshot returns a consistent (count, sum, buckets) triple.
+func (h *Histogram) snapshot() (count int64, sum float64, buckets []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, append([]int64(nil), h.counts...)
 }
-
-func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // Bucket is one histogram bucket in a snapshot: the count of observations
 // at or below the upper bound and above the previous bound (+Inf for the
@@ -216,11 +217,12 @@ func (r *Registry) Snapshot() []Point {
 	}
 	for _, name := range sortedKeys(r.hists) {
 		h := r.hists[name]
-		p := Point{Kind: "histogram", Name: name, Count: h.count.Load(), Sum: h.sum.load()}
+		count, sum, buckets := h.snapshot()
+		p := Point{Kind: "histogram", Name: name, Count: count, Sum: sum}
 		for i, b := range h.bounds {
-			p.Buckets = append(p.Buckets, Bucket{UpperBound: b, Count: h.counts[i].Load()})
+			p.Buckets = append(p.Buckets, Bucket{UpperBound: b, Count: buckets[i]})
 		}
-		p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)].Load()})
+		p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), Count: buckets[len(h.bounds)]})
 		out = append(out, p)
 	}
 	return out

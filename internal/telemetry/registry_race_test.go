@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramSnapshotConsistency is the regression test for the torn
+// histogram snapshot: Count, Sum and the bucket vector used to be loaded
+// as separate atomics while observers ran, so a snapshot could report a
+// (count, sum) pair no execution state ever held. Every sample here has
+// value 1.0, so in any consistent state Sum == float64(Count) and the
+// bucket counts total Count; the test hammers Observe from many goroutines
+// while snapshotting (via WriteText, the render path) and rejects the
+// first inconsistent pair. Run under -race this also proves the pair is
+// data-race-free.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("consistency_hammer", ExpBuckets(0.5, 2, 4))
+
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				h.Observe(1.0)
+			}
+		}()
+	}
+	close(start)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for snapshots := 0; ; snapshots++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		points, err := ParseText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Kind != "histogram" {
+				continue
+			}
+			if p.Sum != float64(p.Count) {
+				t.Fatalf("torn snapshot after %d snapshots: count %d, sum %g (every sample is 1.0)",
+					snapshots, p.Count, p.Sum)
+			}
+			var total int64
+			for _, b := range p.Buckets {
+				total += b.Count
+			}
+			if total != p.Count {
+				t.Fatalf("torn snapshot: buckets total %d, count %d", total, p.Count)
+			}
+		}
+		select {
+		case <-done:
+			// One final snapshot must account for every observation.
+			count, sum, _ := h.snapshot()
+			if want := int64(workers * perWorker); count != want || sum != float64(want) {
+				t.Fatalf("final state count %d sum %g, want %d", count, sum, want)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestHistogramObserveBuckets pins bucket assignment and the text
+// round-trip for the mutex-guarded histogram.
+func TestHistogramObserveBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	points, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("got %d points, want 1", len(points))
+	}
+	p := points[0]
+	if p.Count != 5 || p.Sum != 556.5 {
+		t.Fatalf("count %d sum %g, want 5 / 556.5", p.Count, p.Sum)
+	}
+	wantBuckets := []int64{2, 1, 1, 1}
+	for i, b := range p.Buckets {
+		if b.Count != wantBuckets[i] {
+			t.Fatalf("bucket %d count %d, want %d", i, b.Count, wantBuckets[i])
+		}
+	}
+	if !math.IsInf(p.Buckets[len(p.Buckets)-1].UpperBound, 1) {
+		t.Fatal("last bucket is not +Inf")
+	}
+}
