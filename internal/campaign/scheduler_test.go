@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"testing"
+
+	"cherisim/internal/experiments"
+)
+
+// submit enqueues a minimal valid campaign for tenant on a not-yet-started
+// service (submissions queue deterministically until Start).
+func submit(t *testing.T, s *Service, tenant string) *Campaign {
+	t.Helper()
+	c, err := s.Submit(Spec{Tenant: tenant, Experiments: []string{"table1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// dispatchOrder drains the scheduler via next(), returning tenant order.
+func dispatchOrder(s *Service) []string {
+	var out []string
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := s.next(); c != nil; c = s.next() {
+		out = append(out, c.Spec.Tenant)
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFairnessInterleavesTenants is the core fairness property: a tenant
+// flooding the queue before another submits anything does not get served
+// first-come-first-served — dispatch interleaves the tenants round-robin.
+func TestFairnessInterleavesTenants(t *testing.T) {
+	s := New(Config{QueueDepth: 16})
+	for i := 0; i < 3; i++ {
+		submit(t, s, "flood")
+	}
+	for i := 0; i < 2; i++ {
+		submit(t, s, "small")
+	}
+	got := dispatchOrder(s)
+	want := []string{"flood", "small", "flood", "small", "flood"}
+	if !eq(got, want) {
+		t.Errorf("dispatch order = %v, want %v", got, want)
+	}
+}
+
+// TestFairnessWeights gives one tenant a weight of 2: it gets two
+// dispatches per round to the other's one.
+func TestFairnessWeights(t *testing.T) {
+	s := New(Config{QueueDepth: 16, Weights: map[string]int{"heavy": 2}})
+	for i := 0; i < 4; i++ {
+		submit(t, s, "heavy")
+	}
+	for i := 0; i < 2; i++ {
+		submit(t, s, "light")
+	}
+	got := dispatchOrder(s)
+	want := []string{"heavy", "heavy", "light", "heavy", "heavy", "light"}
+	if !eq(got, want) {
+		t.Errorf("dispatch order = %v, want %v", got, want)
+	}
+}
+
+// TestFairnessSkipsIdleTenants ensures an empty queue neither blocks the
+// scan nor hoards credit for later rounds.
+func TestFairnessSkipsIdleTenants(t *testing.T) {
+	s := New(Config{QueueDepth: 16, Weights: map[string]int{"a": 3}})
+	submit(t, s, "a") // registers a, then drains
+	submit(t, s, "b")
+	if got := dispatchOrder(s); !eq(got, []string{"a", "b"}) {
+		t.Fatalf("warmup order = %v", got)
+	}
+	// a's unused credit from the first round must not survive: with one
+	// pending campaign it gets one dispatch, not a weight-3 monopoly slot
+	// that stalls the scan on its empty queue.
+	for i := 0; i < 3; i++ {
+		submit(t, s, "b")
+	}
+	submit(t, s, "a")
+	got := dispatchOrder(s)
+	want := []string{"a", "b", "b", "b"}
+	if !eq(got, want) {
+		t.Errorf("dispatch order = %v, want %v", got, want)
+	}
+}
+
+// TestBackpressureQueueDepth pins the ErrQueueFull contract: per-tenant
+// bound, Retry hint >= 1, other tenants unaffected.
+func TestBackpressureQueueDepth(t *testing.T) {
+	s := New(Config{QueueDepth: 2, Workers: 2})
+	submit(t, s, "t")
+	submit(t, s, "t")
+	_, err := s.Submit(Spec{Tenant: "t", Experiments: []string{"table1"}})
+	full, ok := err.(*ErrQueueFull)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrQueueFull", err)
+	}
+	if full.Tenant != "t" || full.Pending != 2 || full.Retry < 1 {
+		t.Errorf("ErrQueueFull = %+v", full)
+	}
+	if _, err := s.Submit(Spec{Tenant: "other", Experiments: []string{"table1"}}); err != nil {
+		t.Errorf("other tenant rejected: %v", err)
+	}
+}
+
+// TestSubmitValidation pins the client-error surface.
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{})
+	cases := []Spec{
+		{Experiments: []string{"no-such-experiment"}},
+		{Scale: DefaultMaxScale + 1},
+		{Tenant: "bad tenant name"},
+		{Attacks: []string{"uaf"}},                                      // without selecting security
+		{Topologies: []string{"mesh"}},                                  // without selecting scale
+		{Experiments: []string{"scale"}, Cores: []int{0}},               // out of range
+		{Experiments: []string{"scale"}, Topologies: []string{"torus"}}, // unknown kind
+	}
+	for _, spec := range cases {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("spec %+v accepted, want error", spec)
+		}
+	}
+	c, err := s.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec.Tenant != "default" || c.Spec.Scale != 1 {
+		t.Errorf("defaults not applied: %+v", c.Spec)
+	}
+	if len(c.exps) != len(experiments.Renderable()) {
+		t.Errorf("empty selection = %d experiments, want the -all set", len(c.exps))
+	}
+}
+
+// TestParseWeights covers the -weights flag grammar.
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("a=3, b=1")
+	if err != nil || w["a"] != 3 || w["b"] != 1 {
+		t.Errorf("ParseWeights = %v, %v", w, err)
+	}
+	for _, bad := range []string{"a", "a=0", "a=x", "=2"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("ParseWeights(%q) accepted", bad)
+		}
+	}
+	if w, err := ParseWeights(""); w != nil || err != nil {
+		t.Errorf("ParseWeights(\"\") = %v, %v", w, err)
+	}
+}

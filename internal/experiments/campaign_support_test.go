@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cherisim/internal/abi"
+	"cherisim/internal/core"
+	"cherisim/internal/telemetry"
+)
+
+// blockStoreWrites squats every shard-directory path of a store root with a
+// regular file, so every Save's MkdirAll fails deterministically with
+// ENOTDIR. (Permission-based blocking does not work under root, which
+// bypasses mode bits; a file where a directory must go fails for any uid.)
+func blockStoreWrites(t *testing.T, dir string) {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%02x", i)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSaveRunWriteErrorCounted is the regression test for the silently
+// discarded Save error: on pre-fix engines a run over an unwritable store
+// succeeded with zero trace that nothing was persisted. The run must still
+// succeed (persistence is best-effort), but the failure must count on
+// Stats.WriteErrors and the store_write_errors telemetry counter.
+func TestSaveRunWriteErrorCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := storeSession(t, dir)
+	s.Telemetry = telemetry.New()
+	blockStoreWrites(t, dir)
+
+	d := s.Run(mustWorkload(t, "525.x264_r"), abi.Purecap)
+	if d.Err != nil {
+		t.Fatalf("run must succeed despite unwritable store: %v", d.Err)
+	}
+	st := s.StoreStats()
+	if st.WriteErrors != 1 || st.Writes != 0 {
+		t.Errorf("stats = %s, want 1 write error, 0 writes", st)
+	}
+	if got := s.Telemetry.Metrics.Counter("store_write_errors").Value(); got != 1 {
+		t.Errorf("store_write_errors = %d, want 1", got)
+	}
+	// The stderr store summary carries the counter too.
+	if !strings.Contains(st.String(), "1 write errors") {
+		t.Errorf("stats string %q does not surface write errors", st)
+	}
+}
+
+// TestKernelWriteErrorCounted covers the other engine persistence path
+// (RunKernel's direct Save, previously `_ =`-discarded).
+func TestKernelWriteErrorCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := storeSession(t, dir)
+	blockStoreWrites(t, dir)
+	if _, err := s.RunKernel("write-err-kernel", s.effectiveConfig(abi.Hybrid), func(m *core.Machine) {}); err != nil {
+		t.Fatalf("kernel must succeed despite unwritable store: %v", err)
+	}
+	if st := s.StoreStats(); st.WriteErrors != 1 || st.Writes != 0 {
+		t.Errorf("stats = %s, want 1 write error, 0 writes", st)
+	}
+}
+
+// TestSelect pins the strict selection semantics the campaign service
+// validates submissions with.
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Renderable()) {
+		t.Errorf("Select(nil) = %d experiments, want the -all set (%d)", len(all), len(Renderable()))
+	}
+	if _, err := Select([]string{"no-such-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := Select([]string{"table1", ""}); err == nil || !strings.Contains(err.Error(), "stray comma") {
+		t.Errorf("empty segment err = %v, want stray-comma hint", err)
+	}
+	// Resolution is in All() order regardless of request order, dupes collapse.
+	got, err := Select([]string{"fig1", "table1", " fig1 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "table1" || got[1].ID != "fig1" {
+		t.Errorf("Select order = %v", ids(got))
+	}
+	// Manual experiments run when named, exactly like -run.
+	sec, err := Select([]string{"security"})
+	if err != nil || len(sec) != 1 || sec[0].ID != "security" {
+		t.Errorf("Select(security) = %v, %v", ids(sec), err)
+	}
+}
+
+func ids(exps []*Experiment) []string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// TestRenderSelectedMatchesRenderAllFraming pins the byte contract the
+// campaign service leans on: rendering a selection writes the same framed
+// section bytes RenderAll would for those experiments, and the progress
+// callback fires once per experiment in order.
+func TestRenderSelectedMatchesRenderAllFraming(t *testing.T) {
+	exps, err := Select([]string{"table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := exps[0]
+
+	var seen []string
+	var body bytes.Buffer
+	if failed := RenderSelected(NewSession(1), &body, exps, func(e *Experiment, err error) {
+		if err != nil {
+			t.Errorf("experiment %s failed: %v", e.ID, err)
+		}
+		seen = append(seen, e.ID)
+	}); len(failed) != 0 {
+		t.Fatalf("failed = %v", failed)
+	}
+	if len(seen) != 1 || seen[0] != "table1" {
+		t.Errorf("progress callbacks = %v", seen)
+	}
+
+	txt, err := e.Run(NewSession(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("== %s: %s (%s) ==\n%s\n", e.ID, e.Title, e.Section, txt)
+	if body.String() != want {
+		t.Error("RenderSelected bytes differ from the single-experiment framing")
+	}
+}

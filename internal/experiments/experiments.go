@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Experiment is one regenerable artefact of the paper's evaluation.
@@ -53,6 +54,36 @@ func UnionPairs(exps []*Experiment) []Pair {
 	return out
 }
 
+// Select resolves experiment handles into experiments, in All() order —
+// the strict sibling of ByID for comma-split user input (the campaign
+// service's submission validation). An empty list selects the -all set
+// (Renderable()); naming a Manual experiment explicitly is allowed, the
+// same way -run is. Duplicates collapse; any unknown or empty handle is an
+// error before anything runs.
+func Select(names []string) ([]*Experiment, error) {
+	if len(names) == 0 {
+		return Renderable(), nil
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("experiments: empty experiment name in segment %d of %v (stray comma?)", i+1, names)
+		}
+		if _, err := ByID(n); err != nil {
+			return nil, err
+		}
+		seen[n] = true
+	}
+	var out []*Experiment
+	for _, e := range All() {
+		if seen[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
 // RenderError pairs a failed experiment with its error, for the degraded
 // campaign summary.
 type RenderError struct {
@@ -66,13 +97,27 @@ type RenderError struct {
 // and the ones that fail are collected — not fatal — so one crashed or
 // injected-away measurement cannot abort the rest of the campaign.
 func RenderAll(s *Session, out io.Writer) []RenderError {
-	s.Prefetch(UnionPairs(Renderable()))
+	return RenderSelected(s, out, Renderable(), nil)
+}
+
+// RenderSelected is RenderAll over an explicit experiment list (Select):
+// the selection's measurement grid is prefetched across the worker pool,
+// each experiment that renders is written to out in the given order with
+// the same framing bytes RenderAll emits, and failures are collected, not
+// fatal. onExperiment, when non-nil, is called after each experiment
+// finishes (rendered or failed) — the campaign service's per-experiment
+// progress feed.
+func RenderSelected(s *Session, out io.Writer, exps []*Experiment, onExperiment func(*Experiment, error)) []RenderError {
+	s.Prefetch(UnionPairs(exps))
 	obs := s.campaignObserver()
 	var failed []RenderError
-	for _, e := range Renderable() {
+	for _, e := range exps {
 		sp := obs.experimentSpan(e)
 		txt, err := e.Run(s)
 		obs.experimentEnd(sp, e, err)
+		if onExperiment != nil {
+			onExperiment(e, err)
+		}
 		if err != nil {
 			failed = append(failed, RenderError{ID: e.ID, Err: err})
 			continue

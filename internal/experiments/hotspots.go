@@ -116,7 +116,7 @@ func (s *Session) profileRun(w *workloads.Workload, a abi.ABI, key runKey, sem c
 	if s.Store != nil {
 		e := &resultstore.Entry{Key: sk, Attempts: 1, Profile: &prof}
 		fillCoreResult(&e.CoreResult, &m.C, m.Heap.Stats(), m.Uops(), nil, true, nil)
-		_ = s.Store.Save(e)
+		s.storeSave(e, obs)
 	}
 	obs.profiled(w, a, &prof)
 	return &prof, nil
@@ -127,6 +127,7 @@ func (s *Session) profileRun(w *workloads.Workload, a abi.ABI, key runKey, sem c
 // DisableProfile, so the interpreter attributes every µop to the function
 // executing it.
 func (s *Session) profileOnce(w *workloads.Workload, a abi.ABI, obs *runObserver) (*core.Machine, error) {
+	s.execs.Add(1)
 	cfg := s.effectiveConfig(a)
 	var setup func(*core.Machine)
 	if s.Chaos != nil || s.DeadlineUops > 0 {

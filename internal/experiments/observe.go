@@ -32,6 +32,7 @@ type runObserver struct {
 	sfHits        *telemetry.Counter
 	storeHits     *telemetry.Counter
 	storeMisses   *telemetry.Counter
+	storeWriteErr *telemetry.Counter
 	replayRecords *telemetry.Counter
 	replayBlocks  *telemetry.Counter
 	replayUops    *telemetry.Counter
@@ -65,6 +66,7 @@ func newRunObserver(hub *telemetry.Hub) *runObserver {
 		sfHits:        m.Counter("singleflight_hits"),
 		storeHits:     m.Counter("store_hits"),
 		storeMisses:   m.Counter("store_misses"),
+		storeWriteErr: m.Counter("store_write_errors"),
 		replayRecords: m.Counter("replay_records"),
 		replayBlocks:  m.Counter("replay_blocks"),
 		replayUops:    m.Counter("replay_fastpath_uops"),
@@ -106,6 +108,15 @@ func (o *runObserver) storeHit() {
 func (o *runObserver) storeMiss() {
 	if o != nil {
 		o.storeMisses.Inc()
+	}
+}
+
+// storeWriteError counts a failed best-effort store persist — the store
+// stays permanently cold for that key, which a long-running service wants
+// surfaced rather than silently re-simulating every campaign.
+func (o *runObserver) storeWriteError() {
+	if o != nil {
+		o.storeWriteErr.Inc()
 	}
 }
 

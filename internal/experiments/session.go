@@ -8,6 +8,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cherisim/internal/abi"
@@ -165,6 +166,7 @@ type Session struct {
 	sem      chan int               // worker-ID pool: receiving acquires a slot + identity
 	obs      *runObserver
 	checkCol *check.Collector
+	execs    atomic.Uint64 // machine executions (simulated or replayed), not store hits
 }
 
 // NewSession creates a measurement session at the given workload scale.
@@ -185,16 +187,47 @@ func (s *Session) pool() chan int {
 		if g := runtime.GOMAXPROCS(0); n <= 0 || n > g {
 			n = g
 		}
-		s.sem = make(chan int, n)
-		for i := 0; i < n; i++ {
-			s.sem <- i
-		}
-		if obs := s.observer(); obs != nil {
-			obs.poolWorkers.Set(int64(n))
-		}
+		s.sem = NewFleet(n)
+	}
+	if obs := s.observer(); obs != nil {
+		obs.poolWorkers.Set(int64(cap(s.sem)))
 	}
 	return s.sem
 }
+
+// NewFleet builds a worker-ID pool of n slots (1 when n < 1): a channel
+// pre-filled with worker identities, the same structure pool() builds
+// privately. A fleet handed to several sessions via SharePool bounds their
+// combined concurrency — the campaign service runs every submission on its
+// own Session but one shared fleet, so tenants compete for simulation
+// workers instead of multiplying them.
+func NewFleet(n int) chan int {
+	if n < 1 {
+		n = 1
+	}
+	p := make(chan int, n)
+	for i := 0; i < n; i++ {
+		p <- i
+	}
+	return p
+}
+
+// SharePool attaches a pre-built worker fleet (NewFleet) to the session in
+// place of its private pool. Must be called before the first
+// Run/Prefetch/ProfileRun; a nil fleet is ignored.
+func (s *Session) SharePool(p chan int) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sem = p
+}
+
+// Executions returns how many machine executions (live or replayed) the
+// session has performed — store-served runs do not count. A warm campaign
+// over a populated store reports 0.
+func (s *Session) Executions() uint64 { return s.execs.Load() }
 
 // observer returns the session's telemetry observer, building it on first
 // use; nil when telemetry is disabled. Callers must hold s.mu.
@@ -342,7 +375,7 @@ func (s *Session) Run(w *workloads.Workload, a abi.ABI) *RunData {
 	if obs != nil {
 		obs.runEnd(span, c.data, time.Since(t0))
 	}
-	s.saveRun(sk, c.data)
+	s.saveRun(sk, c.data, obs)
 	sem <- worker
 	close(c.done)
 	return c.data
@@ -370,6 +403,7 @@ func (s *Session) execute(w *workloads.Workload, a abi.ABI, obs *runObserver, ru
 // installing the watchdog/injector quantum hook when the session is
 // configured for supervision.
 func (s *Session) executeOnce(w *workloads.Workload, a abi.ABI, attempt int, obs *runObserver, att *telemetry.Span) *RunData {
+	s.execs.Add(1)
 	cfg := core.DefaultConfig(a)
 	if s.Configure != nil {
 		s.Configure(&cfg)

@@ -89,14 +89,25 @@ func (s *Session) loadRun(key resultstore.Key, obs *runObserver) (*RunData, bool
 
 // saveRun persists a finished run. Persistence is best-effort: a full disk
 // must degrade the store to a cache miss on the next campaign, never fail
-// the measurement that just completed.
-func (s *Session) saveRun(key resultstore.Key, d *RunData) {
+// the measurement that just completed — but the failure is counted
+// (store_write_errors, Stats.WriteErrors, the stderr store summary), so a
+// long-running service can see it is permanently cold instead of silently
+// re-simulating every campaign.
+func (s *Session) saveRun(key resultstore.Key, d *RunData, obs *runObserver) {
 	if s.Store == nil {
 		return
 	}
 	e := &resultstore.Entry{Key: key, Attempts: d.Attempts, Injected: d.Injected, Witness: d.Witness}
 	fillCoreResult(&e.CoreResult, &d.Counters, d.Heap, d.Uops, d.Err, d.hasMachine, nil)
-	_ = s.Store.Save(e)
+	s.storeSave(e, obs)
+}
+
+// storeSave persists one entry best-effort, counting (never raising)
+// failures. All engine persistence funnels through here.
+func (s *Session) storeSave(e *resultstore.Entry, obs *runObserver) {
+	if err := s.Store.Save(e); err != nil {
+		obs.storeWriteError()
+	}
 }
 
 // fillCoreResult populates one stored machine outcome.
@@ -166,6 +177,7 @@ func (s *Session) RunKernel(id string, cfg core.Config, body func(*core.Machine)
 		obs.storeMiss()
 	}
 
+	s.execs.Add(1)
 	m := core.NewMachine(cfg)
 	if setup := s.MachineSetup(); setup != nil {
 		setup(m)
@@ -176,7 +188,7 @@ func (s *Session) RunKernel(id string, cfg core.Config, body func(*core.Machine)
 	e := &resultstore.Entry{Key: key}
 	fillCoreResult(&e.CoreResult, &m.C, m.Heap.Stats(), m.Uops(), nil, true, m.Revocations())
 	if s.Store != nil {
-		_ = s.Store.Save(e)
+		s.storeSave(e, obs)
 	}
 	return kernelFromEntry(e), nil
 }
@@ -229,6 +241,7 @@ func (s *Session) CoRun(id string, specs []soc.CoreSpec) ([]CoRunCore, error) {
 		obs.storeMiss()
 	}
 
+	s.execs.Add(uint64(len(specs)))
 	s.wrapMachineSetup(specs)
 	res, err := soc.RunObserved(specs, s.Telemetry)
 	if err != nil {
@@ -236,7 +249,7 @@ func (s *Session) CoRun(id string, specs []soc.CoreSpec) ([]CoRunCore, error) {
 	}
 	e := coRunEntry(key, res, nil)
 	if s.Store != nil {
-		_ = s.Store.Save(e)
+		s.storeSave(e, obs)
 	}
 	return coRunFromEntry(e), nil
 }
@@ -264,6 +277,7 @@ func (s *Session) CoRunTopo(id string, topo soc.Topology, specs []soc.CoreSpec) 
 		obs.storeMiss()
 	}
 
+	s.execs.Add(uint64(len(specs)))
 	s.wrapMachineSetup(specs)
 	res, err := soc.RunTopologyObserved(topo, specs, s.Telemetry, s.sliceSetup())
 	if err != nil {
@@ -271,7 +285,7 @@ func (s *Session) CoRunTopo(id string, topo soc.Topology, specs []soc.CoreSpec) 
 	}
 	e := coRunEntry(key, res.Cores, res.Fabric)
 	if s.Store != nil {
-		_ = s.Store.Save(e)
+		s.storeSave(e, obs)
 	}
 	return coRunFromEntry(e), e.Fabric, nil
 }

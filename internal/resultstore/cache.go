@@ -1,0 +1,110 @@
+package resultstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBytes is the admission-cache budget EnableAdmissionCache
+// applies when given a non-positive size: enough for a few full campaign
+// grids of encoded entries.
+const DefaultCacheBytes = 64 << 20
+
+// admissionCache is a bounded LRU of encoded entry files keyed by Key: the
+// in-memory tier in front of the disk store, so a hot cell is served
+// without re-reading (or re-statting) its file. It holds the validated
+// envelope bytes, not decoded entries — every hit re-decodes, so callers
+// can never alias or mutate a shared *Entry, and a served result passes the
+// same checksum/key validation a disk read does. All methods are nil-safe:
+// a store without the cache enabled pays one pointer test.
+type admissionCache struct {
+	mu    sync.Mutex
+	max   int64 // byte budget over stored values
+	size  int64
+	order *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+// cacheItem is one resident entry: the key (for eviction bookkeeping) and
+// the encoded envelope bytes as written to disk.
+type cacheItem struct {
+	key  Key
+	data []byte
+}
+
+// EnableAdmissionCache puts a bounded in-memory LRU in front of the store's
+// disk reads: loads are served from memory when resident, and every
+// successful save or disk load admits its encoded bytes. maxBytes <= 0
+// selects DefaultCacheBytes. Call before sharing the store; enabling is not
+// synchronised with concurrent loads.
+func (s *Store) EnableAdmissionCache(maxBytes int64) {
+	if s == nil {
+		return
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	s.cache = &admissionCache{
+		max:   maxBytes,
+		order: list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// get returns the resident bytes for k, refreshing its recency.
+func (c *admissionCache) get(k Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).data, true
+}
+
+// put admits (or refreshes) k's encoded bytes, evicting least-recently-used
+// entries until the budget holds. Values larger than the whole budget are
+// not admitted.
+func (c *admissionCache) put(k Key, data []byte) {
+	if c == nil || int64(len(data)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		it := el.Value.(*cacheItem)
+		c.size += int64(len(data)) - int64(len(it.data))
+		it.data = data
+		c.order.MoveToFront(el)
+	} else {
+		c.items[k] = c.order.PushFront(&cacheItem{key: k, data: data})
+		c.size += int64(len(data))
+	}
+	for c.size > c.max {
+		el := c.order.Back()
+		it := el.Value.(*cacheItem)
+		c.order.Remove(el)
+		delete(c.items, it.key)
+		c.size -= int64(len(it.data))
+	}
+}
+
+// drop evicts k (used when resident bytes fail validation, which only a
+// corrupted feed can cause).
+func (c *admissionCache) drop(k Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		it := el.Value.(*cacheItem)
+		c.order.Remove(el)
+		delete(c.items, k)
+		c.size -= int64(len(it.data))
+	}
+}

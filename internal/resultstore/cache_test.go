@@ -1,0 +1,170 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestAdmissionCacheServesWithoutDisk is the tentpole property: once a key
+// is resident, loads never touch its file again. The test deletes the file
+// outright — a served load therefore proves zero disk reads.
+func TestAdmissionCacheServesWithoutDisk(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableAdmissionCache(0)
+	want := testEntry("hot")
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s.Path(want.Key)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(want.Key)
+	if !ok {
+		t.Fatal("hot entry not served from the admission cache")
+	}
+	if c, _ := got.CountersFile(); got.Uops != want.Uops || c != [len(c)]uint64(want.Counters) {
+		t.Error("cache-served entry differs from the saved one")
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("stats = %s", st)
+	}
+
+	// Each hit decodes fresh bytes: mutating a served entry must not leak
+	// into later loads.
+	got.Uops = 1
+	again, ok := s.Load(want.Key)
+	if !ok || again.Uops != want.Uops {
+		t.Error("cache hit aliased a previously served entry")
+	}
+}
+
+// TestAdmissionCacheAdmitsOnRead covers the disk-read admission path: an
+// entry written by another process (simulated by a fresh Store over the
+// same dir) is admitted on its first read and served from memory after.
+func TestAdmissionCacheAdmitsOnRead(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry("warm")
+	if err := writer.Save(want); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.EnableAdmissionCache(0)
+	if _, ok := reader.Load(want.Key); !ok {
+		t.Fatal("disk entry did not load")
+	}
+	if err := os.Remove(reader.Path(want.Key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reader.Load(want.Key); !ok {
+		t.Fatal("entry not admitted on read")
+	}
+	st := reader.Stats()
+	if st.Hits != 1 || st.MemHits != 1 {
+		t.Errorf("stats = %s", st)
+	}
+}
+
+// TestAdmissionCacheEviction bounds the cache: with a budget that holds
+// roughly one encoded entry, older keys are evicted least-recently-used.
+func TestAdmissionCacheEviction(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := testEntry("evict-0")
+	if err := s.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(0)
+	if fi, err := os.Stat(s.Path(first.Key)); err == nil {
+		size = fi.Size()
+	} else {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.EnableAdmissionCache(size + size/2) // room for one entry, not two
+	a, b := testEntry("evict-a"), testEntry("evict-b")
+	if err := s2.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Save(b); err != nil {
+		t.Fatal(err)
+	}
+	// a was evicted by b's admission: deleting both files, only b serves.
+	if err := os.Remove(s2.Path(a.Key)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s2.Path(b.Key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Load(a.Key); ok {
+		t.Error("evicted entry still resident")
+	}
+	if _, ok := s2.Load(b.Key); !ok {
+		t.Error("most-recent entry evicted")
+	}
+
+	// Oversized values are never admitted (they would evict everything).
+	s3, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.EnableAdmissionCache(16)
+	if err := s3.Save(testEntry("huge")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.Writes != 1 {
+		t.Errorf("stats = %s", st)
+	}
+	if _, ok := s3.cache.get(testKey("huge")); ok {
+		t.Error("oversized value admitted")
+	}
+}
+
+// TestAdmissionCacheConcurrent hammers mixed save/load traffic over a
+// small cache under -race.
+func TestAdmissionCacheConcurrent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableAdmissionCache(1 << 16)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("cc-%d", (g*50+i)%20)
+				e := testEntry(name)
+				if err := s.Save(e); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Load(e.Key); !ok {
+					t.Errorf("just-saved %s missed", name)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

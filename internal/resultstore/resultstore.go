@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -280,7 +281,24 @@ type Stats struct {
 	Misses  uint64 // lookups that fell through to simulation
 	Writes  uint64 // entries persisted
 	Corrupt uint64 // entries rejected by checksum/structure validation
+	// MemHits counts entries served from the in-memory admission cache
+	// without touching disk (always 0 when the cache is not enabled).
+	MemHits uint64
+	// Errors counts reads that failed for a reason other than absence
+	// (permissions, IO): still a miss for the caller, but a signal that the
+	// store is unhealthy rather than merely cold.
+	Errors uint64
+	// WriteErrors counts failed Save calls: persistence is best-effort, but
+	// a long-running service must be able to see that it is permanently
+	// cold-starting because every write fails.
+	WriteErrors uint64
 }
+
+// saveStripes is the number of independent Save locks. Saves of distinct
+// keys proceed in parallel (the two-level hh/ shard layout and unique temp
+// names make them file-disjoint); the stripe only collapses redundant
+// concurrent writes of the same key onto one file at a time.
+const saveStripes = 64
 
 // Store is a disk-backed content-addressed result cache rooted at one
 // directory. The zero/nil Store is inert: every load misses (uncounted)
@@ -292,7 +310,16 @@ type Store struct {
 	dir string
 
 	hits, misses, writes, corrupt atomic.Uint64
-	mu                            sync.Mutex // serialises same-process writes
+	memHits, errs, writeErrs      atomic.Uint64
+	locks                         [saveStripes]sync.Mutex // per-key-stripe write locks
+	cache                         *admissionCache         // nil until EnableAdmissionCache
+}
+
+// stripe returns the Save lock shard for a key hash. The first two hex
+// digits (the directory shard) spread uniformly over the stripes, so keys
+// in different shard directories almost never contend.
+func (s *Store) stripe(hash string) *sync.Mutex {
+	return &s.locks[(hash[0]<<4|hash[1])%saveStripes]
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -321,13 +348,26 @@ func (s *Store) Path(k Key) string {
 // Load returns the stored entry for k, or (nil, false) on any failure —
 // absence, truncation, checksum mismatch, malformed JSON, format or key
 // mismatch. Corruption is never an error: the caller re-simulates and the
-// rewrite replaces the bad file.
+// rewrite replaces the bad file. Read failures other than absence
+// (permissions, IO) additionally count on Stats.Errors — a mis-permissioned
+// store must not look like a merely cold one. With the admission cache
+// enabled, hot keys are served from memory without touching the file.
 func (s *Store) Load(k Key) (*Entry, bool) {
 	if s == nil {
 		return nil, false
 	}
+	if raw, ok := s.cache.get(k); ok {
+		if e, ok := decode(raw, k); ok {
+			s.memHits.Add(1)
+			return e, true
+		}
+		s.cache.drop(k) // unreachable unless the cache was fed bad bytes
+	}
 	raw, err := os.ReadFile(s.Path(k))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.errs.Add(1)
+		}
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -337,6 +377,7 @@ func (s *Store) Load(k Key) (*Entry, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
+	s.cache.put(k, raw)
 	s.hits.Add(1)
 	return e, true
 }
@@ -363,11 +404,21 @@ func decode(raw []byte, want Key) (*Entry, bool) {
 
 // Save persists e under its key, atomically: the entry is written to a
 // temp file in the same directory and renamed into place, so a reader (or
-// a crash) never observes a partial entry.
+// a crash) never observes a partial entry. Writes hold only a per-key
+// stripe lock, so saves of distinct keys proceed in parallel; every failure
+// counts on Stats.WriteErrors before it is returned.
 func (s *Store) Save(e *Entry) error {
 	if s == nil {
 		return nil
 	}
+	err := s.save(e)
+	if err != nil {
+		s.writeErrs.Add(1)
+	}
+	return err
+}
+
+func (s *Store) save(e *Entry) error {
 	body, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("resultstore: encode %s: %w", e.Key.Name, err)
@@ -377,10 +428,12 @@ func (s *Store) Save(e *Entry) error {
 	if err != nil {
 		return fmt.Errorf("resultstore: encode %s: %w", e.Key.Name, err)
 	}
-	path := s.Path(e.Key)
+	hash := e.Key.Hash()
+	path := filepath.Join(s.dir, hash[:2], hash+".json")
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.stripe(hash)
+	mu.Lock()
+	defer mu.Unlock()
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
@@ -401,6 +454,7 @@ func (s *Store) Save(e *Entry) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: commit %s: %w", e.Key.Name, err)
 	}
+	s.cache.put(e.Key, data)
 	s.writes.Add(1)
 	return nil
 }
@@ -411,18 +465,22 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Writes:  s.writes.Load(),
-		Corrupt: s.corrupt.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Corrupt:     s.corrupt.Load(),
+		MemHits:     s.memHits.Load(),
+		Errors:      s.errs.Load(),
+		WriteErrors: s.writeErrs.Load(),
 	}
 }
 
 // String renders the traffic counters in the stable form the CLI prints
-// and CI parses.
+// and CI parses; the service-era counters (admission cache, read/write
+// errors) extend the line without disturbing the original prefix.
 func (st Stats) String() string {
-	return fmt.Sprintf("%d hits, %d misses, %d writes, %d corrupt",
-		st.Hits, st.Misses, st.Writes, st.Corrupt)
+	return fmt.Sprintf("%d hits, %d misses, %d writes, %d corrupt, %d mem hits, %d read errors, %d write errors",
+		st.Hits, st.Misses, st.Writes, st.Corrupt, st.MemHits, st.Errors, st.WriteErrors)
 }
 
 var (

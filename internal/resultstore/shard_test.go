@@ -1,0 +1,202 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// keysOnStripes returns one key whose save stripe differs from ref's and
+// one that shares it, by scanning candidate names.
+func keysOnStripes(t *testing.T, s *Store, ref Key) (other, same Key) {
+	t.Helper()
+	refMu := s.stripe(ref.Hash())
+	var haveOther, haveSame bool
+	for i := 0; i < 4096 && !(haveOther && haveSame); i++ {
+		k := testKey(fmt.Sprintf("probe-%d", i))
+		if s.stripe(k.Hash()) == refMu {
+			if !haveSame {
+				same, haveSame = k, true
+			}
+		} else if !haveOther {
+			other, haveOther = k, true
+		}
+	}
+	if !haveOther || !haveSame {
+		t.Fatal("could not find keys on distinct/shared stripes")
+	}
+	return other, same
+}
+
+// TestSaveDistinctKeysParallel is the regression test for the global save
+// lock: a save must not wait on a writer of an unrelated key. The test
+// holds the stripe lock of one key and proves a distinct-stripe save
+// completes while it is held (under the old global mutex this deadlocks),
+// then proves a same-stripe save does wait (same-key serialisation kept).
+func TestSaveDistinctKeysParallel(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := testKey("blocked")
+	other, same := keysOnStripes(t, s, blocked)
+
+	mu := s.stripe(blocked.Hash())
+	mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		e := testEntry("x")
+		e.Key = other
+		done <- s.Save(e)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("distinct-key save failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("distinct-key save blocked behind an unrelated writer")
+	}
+
+	sameDone := make(chan error, 1)
+	go func() {
+		e := testEntry("y")
+		e.Key = same
+		sameDone <- s.Save(e)
+	}()
+	select {
+	case <-sameDone:
+		t.Fatal("same-stripe save did not wait for the stripe lock")
+	case <-time.After(50 * time.Millisecond):
+	}
+	mu.Unlock()
+	if err := <-sameDone; err != nil {
+		t.Fatalf("same-stripe save failed after unlock: %v", err)
+	}
+}
+
+// TestConcurrentDistinctSaves hammers parallel saves of distinct keys and
+// verifies every one landed intact (run under -race in CI).
+func TestConcurrentDistinctSaves(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := testEntry(fmt.Sprintf("con-%d", i))
+			if err := s.Save(e); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if _, ok := s.Load(testKey(fmt.Sprintf("con-%d", i))); !ok {
+			t.Errorf("entry con-%d lost", i)
+		}
+	}
+	if st := s.Stats(); st.Writes != n || st.WriteErrors != 0 {
+		t.Errorf("stats = %s", st)
+	}
+}
+
+// BenchmarkSaveParallelDistinctKeys measures distinct-key save throughput
+// under contention — the workload the striped lock parallelises (compare
+// against BenchmarkSaveSerial; under the old global mutex the parallel
+// case degenerates to the serial one).
+func BenchmarkSaveParallelDistinctKeys(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq sync.Mutex
+	next := 0
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			seq.Lock()
+			i := next
+			next++
+			seq.Unlock()
+			e := testEntry(fmt.Sprintf("bench-%d", i))
+			if err := s.Save(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSaveSerial is the single-writer baseline for the parallel case.
+func BenchmarkSaveSerial(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e := testEntry(fmt.Sprintf("bench-%d", i))
+		if err := s.Save(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLoadReadErrorCounted pins the miss/error distinction: a read that
+// fails for a reason other than absence (here: the entry path is a
+// directory, failing even when the tests run as root) must count on
+// Stats.Errors, not just look like a cold miss.
+func TestLoadReadErrorCounted(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("unreadable")
+	if err := os.MkdirAll(s.Path(k), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); ok {
+		t.Fatal("load of a directory succeeded")
+	}
+	st := s.Stats()
+	if st.Errors != 1 {
+		t.Errorf("read error not counted: stats = %s", st)
+	}
+	if st.Misses != 1 {
+		t.Errorf("read error must still be a miss: stats = %s", st)
+	}
+
+	// A plain absent entry stays a pure miss.
+	if _, ok := s.Load(testKey("absent")); ok {
+		t.Fatal("absent entry loaded")
+	}
+	if st := s.Stats(); st.Errors != 1 || st.Misses != 2 {
+		t.Errorf("absence misclassified: stats = %s", st)
+	}
+}
+
+// TestSaveErrorCounted pins write-failure accounting: an unwritable shard
+// (here: a regular file squatting on the shard directory, which fails even
+// as root) must surface on Stats.WriteErrors and return the error.
+func TestSaveErrorCounted(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("unwritable")
+	shard := filepath.Dir(s.Path(e.Key))
+	if err := os.WriteFile(shard, []byte("squat"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(e); err == nil {
+		t.Fatal("save into a blocked shard succeeded")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Writes != 0 {
+		t.Errorf("write error not counted: stats = %s", st)
+	}
+}

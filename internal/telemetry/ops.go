@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -18,8 +19,15 @@ import (
 //	/debug/pprof/  the standard net/http/pprof profiles
 //
 // The handler reads live campaign state, so it is safe to scrape while the
-// worker pool is executing.
+// worker pool is executing. Mid-body write failures (a scraper hanging up)
+// abort the response and count on the hub's ops_write_errors counter — they
+// are a property of that connection, not an error state of the service.
 func OpsHandler(h *Hub) http.Handler {
+	writeErr := func() {
+		if h != nil {
+			h.Metrics.Counter("ops_write_errors").Inc()
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -38,7 +46,9 @@ func OpsHandler(h *Hub) http.Handler {
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
-		enc.Encode(spans)
+		if err := enc.Encode(spans); err != nil {
+			writeErr()
+		}
 	})
 	mux.HandleFunc("/profiles", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -53,21 +63,34 @@ func OpsHandler(h *Hub) http.Handler {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		w.Write([]byte("{"))
+		if _, err := w.Write([]byte("{")); err != nil {
+			writeErr()
+			return
+		}
 		for i, k := range keys {
 			if i > 0 {
-				w.Write([]byte(","))
+				if _, err := w.Write([]byte(",")); err != nil {
+					writeErr()
+					return
+				}
 			}
 			nameJSON, _ := json.Marshal(k)
-			w.Write([]byte("\n "))
-			w.Write(nameJSON)
-			w.Write([]byte(": "))
-			w.Write(snap[k])
+			for _, part := range [][]byte{[]byte("\n "), nameJSON, []byte(": "), snap[k]} {
+				if _, err := w.Write(part); err != nil {
+					writeErr()
+					return
+				}
+			}
 		}
+		var closing []byte
 		if len(keys) > 0 {
-			w.Write([]byte("\n"))
+			closing = []byte("\n}\n")
+		} else {
+			closing = []byte("}\n")
 		}
-		w.Write([]byte("}\n"))
+		if _, err := w.Write(closing); err != nil {
+			writeErr()
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -75,11 +98,15 @@ func OpsHandler(h *Hub) http.Handler {
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// ShutdownGrace bounds how long Close waits for in-flight scrapes to
+// complete before falling back to a hard close.
+const ShutdownGrace = 5 * time.Second
 
 // OpsServer is a running ops endpoint.
 type OpsServer struct {
@@ -95,24 +122,51 @@ func StartOps(addr string, h *Hub) (*OpsServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	return serveOps(l, OpsHandler(h)), nil
+}
+
+// Serve binds addr and serves an arbitrary handler under the ops server's
+// lifecycle (background Serve, graceful Close) — cmd/campaignd mounts its
+// campaign API plus the ops mux on one listener through this.
+func Serve(addr string, handler http.Handler) (*OpsServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return serveOps(l, handler), nil
+}
+
+// serveOps runs handler on an already-bound listener (split from StartOps
+// so shutdown behaviour is testable with an arbitrary handler).
+func serveOps(l net.Listener, handler http.Handler) *OpsServer {
 	o := &OpsServer{
 		Addr: l.Addr().String(),
-		srv:  &http.Server{Handler: OpsHandler(h), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan struct{}),
 	}
 	go func() {
 		defer close(o.done)
 		o.srv.Serve(l)
 	}()
-	return o, nil
+	return o
 }
 
-// Close stops the server and waits for the serve loop to exit.
+// Close stops the server gracefully: the listener closes immediately, but
+// in-flight scrapes get up to ShutdownGrace to finish their response — a
+// long-running service must not truncate a /spans body mid-scrape just
+// because it is restarting. Requests still running at the deadline are
+// hard-closed.
 func (o *OpsServer) Close() error {
 	if o == nil {
 		return nil
 	}
-	err := o.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+	defer cancel()
+	err := o.srv.Shutdown(ctx)
+	if err != nil {
+		// Grace expired (or shutdown failed): drop remaining connections.
+		o.srv.Close()
+	}
 	<-o.done
 	return err
 }

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestCloseWaitsForInflightScrape is the regression test for the hard
+// http.Server.Close teardown: a scrape that is mid-body when Close is
+// called must receive its complete response. The handler flushes its first
+// chunk (so the request is demonstrably in flight), waits for Close to
+// begin, then writes the rest.
+func TestCloseWaitsForInflightScrape(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBody := make(chan struct{})
+	closing := make(chan struct{})
+	srv := serveOps(l, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("head..."))
+		w.(http.Flusher).Flush()
+		close(inBody)
+		select {
+		case <-closing:
+		case <-time.After(5 * time.Second):
+		}
+		time.Sleep(50 * time.Millisecond) // Close must still be waiting here
+		w.Write([]byte("tail\n"))
+	}))
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	<-inBody
+	closed := make(chan error, 1)
+	go func() {
+		close(closing)
+		closed <- srv.Close()
+	}()
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape truncated by Close: %v", r.err)
+	}
+	if r.body != "head...tail\n" {
+		t.Fatalf("scrape body = %q, want full body", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("graceful Close returned %v", err)
+	}
+}
+
+// TestSubscribeFeed covers the collector's live span feed: records ended
+// after Subscribe arrive in end order, cancel closes the feed, and a full
+// buffer drops instead of blocking the recording path.
+func TestSubscribeFeed(t *testing.T) {
+	c := NewCollector(8)
+	feed, cancel := c.Subscribe(4)
+	c.Start("a", nil).End()
+	c.Start("b", nil).End()
+	if r := <-feed; r.Name != "a" {
+		t.Fatalf("first record = %q, want a", r.Name)
+	}
+	if r := <-feed; r.Name != "b" {
+		t.Fatalf("second record = %q, want b", r.Name)
+	}
+	cancel()
+	if _, ok := <-feed; ok {
+		t.Fatal("feed not closed by cancel")
+	}
+	// Ending spans after cancel must not panic (no send on closed channel).
+	c.Start("c", nil).End()
+
+	// Lagging subscriber: fill the buffer and keep ending spans.
+	feed2, cancel2 := c.Subscribe(1)
+	defer cancel2()
+	c.Start("d", nil).End()
+	c.Start("e", nil).End() // no reader: dropped, not blocked
+	if r := <-feed2; r.Name != "d" {
+		t.Fatalf("buffered record = %q, want d", r.Name)
+	}
+	if c.Dropped() == 0 {
+		t.Error("lagging subscriber drop not counted")
+	}
+
+	// Nil collector: inert closed feed.
+	var nilC *Collector
+	f, cancelNil := nilC.Subscribe(1)
+	if _, ok := <-f; ok {
+		t.Fatal("nil collector feed not closed")
+	}
+	cancelNil()
+}

@@ -57,6 +57,9 @@ type Collector struct {
 	total      uint64 // spans ever ended; ring holds the last len(ring)
 	tracks     map[string]int
 	trackNames []string
+	subs       map[int]chan SpanRecord
+	nextSub    int
+	dropped    uint64 // records not delivered to a lagging subscriber
 }
 
 // NewCollector builds a collector retaining the last capacity spans
@@ -120,7 +123,9 @@ func (c *Collector) Start(name string, parent *Span) *Span {
 	return s
 }
 
-// end appends a finished span record to the ring.
+// end appends a finished span record to the ring and fans it out to the
+// live subscribers (non-blocking: a lagging subscriber drops records, it
+// never stalls the instrumented hot path).
 func (c *Collector) end(rec SpanRecord) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -130,6 +135,59 @@ func (c *Collector) end(rec SpanRecord) {
 		c.ring[c.total%uint64(len(c.ring))] = rec
 	}
 	c.total++
+	for _, ch := range c.subs {
+		select {
+		case ch <- rec:
+		default:
+			c.dropped++
+		}
+	}
+}
+
+// Subscribe returns a live feed of span records ended after the call — the
+// streaming sibling of Snapshot, for progress endpoints that follow a
+// campaign instead of polling it. The channel buffers buf records
+// (DefaultSpanCapacity/16 when <= 0); delivery is best-effort — records a
+// lagging subscriber cannot take are dropped, never buffered unboundedly.
+// cancel unsubscribes and closes the channel; it must be called exactly
+// once, and the caller must keep draining (or stop receiving) after cancel.
+func (c *Collector) Subscribe(buf int) (feed <-chan SpanRecord, cancel func()) {
+	if c == nil {
+		ch := make(chan SpanRecord)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf <= 0 {
+		buf = DefaultSpanCapacity / 16
+	}
+	ch := make(chan SpanRecord, buf)
+	c.mu.Lock()
+	if c.subs == nil {
+		c.subs = make(map[int]chan SpanRecord)
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = ch
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// Dropped returns the number of span records not delivered to lagging
+// subscribers since the collector was built.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Snapshot returns the retained spans in end order (oldest first).
